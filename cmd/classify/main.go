@@ -1,0 +1,110 @@
+// Command classify applies a saved detector (see cmd/train -model ... or
+// classify -train) to programs given as assembly text files in the ir
+// format, printing each verdict with its confidence and CFG summary.
+//
+// Usage:
+//
+//	classify -train -model detector.gob              # train & save a detector
+//	classify -model detector.gob prog1.asm prog2.asm # classify programs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"advmal/internal/core"
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "classify:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model   = flag.String("model", "detector.gob", "detector file")
+		train   = flag.Bool("train", false, "train a detector and save it to -model")
+		seed    = flag.Int64("seed", 1, "pipeline seed (with -train)")
+		epochs  = flag.Int("epochs", 200, "training epochs (with -train)")
+		benign  = flag.Int("benign", 276, "benign corpus size (with -train)")
+		malware = flag.Int("malware", 2281, "malicious corpus size (with -train)")
+	)
+	flag.Parse()
+
+	if *train {
+		cfg := core.DefaultConfig()
+		cfg.Seed = *seed
+		cfg.Epochs = *epochs
+		cfg.NumBenign = *benign
+		cfg.NumMal = *malware
+		sys := core.New(cfg)
+		if err := sys.BuildCorpus(); err != nil {
+			return err
+		}
+		if _, err := sys.Fit(); err != nil {
+			return err
+		}
+		m, err := sys.EvaluateTest()
+		if err != nil {
+			return err
+		}
+		fmt.Println("trained:", m)
+		det, err := sys.Detector()
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*model)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := det.Save(f); err != nil {
+			return err
+		}
+		fmt.Println("detector saved to", *model)
+		return nil
+	}
+
+	if flag.NArg() == 0 {
+		return fmt.Errorf("no programs given; pass assembly files (ir format) or use -train")
+	}
+	f, err := os.Open(*model)
+	if err != nil {
+		return fmt.Errorf("opening detector (train one with -train): %w", err)
+	}
+	det, err := core.LoadDetector(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		prog, err := ir.Parse(string(text))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		cfg, err := ir.Disassemble(prog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		pred, probs, err := det.Classify(prog)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		verdict := "benign"
+		if pred == nn.ClassMalware {
+			verdict = "MALWARE"
+		}
+		fmt.Printf("%-30s %s (p=%.3f) — %d blocks, %d edges\n",
+			path, verdict, probs[pred], cfg.G().N(), cfg.G().M())
+	}
+	return nil
+}

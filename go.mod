@@ -1,0 +1,3 @@
+module advmal
+
+go 1.22

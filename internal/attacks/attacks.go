@@ -1,0 +1,131 @@
+// Package attacks implements the eight off-the-shelf adversarial learning
+// methods the paper evaluates against the CFG-based detector (§III-A,
+// Table III): C&W (L2), DeepFool, ElasticNet (EAD), FGSM, JSMA, MIM, PGD,
+// and VAM, plus the evaluation harness that reports the paper's three
+// columns: misclassification rate (MR), average number of features changed
+// (Avg.FG), and crafting time per sample (CT).
+//
+// All attacks operate in the scaled feature space (the [0,1] box the
+// min-max scaler maps the training range onto) and are deterministic.
+// For the binary detection task every attack targets the opposite class,
+// which coincides with the untargeted objective.
+package attacks
+
+import (
+	"math"
+
+	"advmal/internal/nn"
+)
+
+// Attack crafts an adversarial example from a correctly classified sample.
+// x is the scaled feature vector, label its true class. Implementations
+// return a best-effort adversarial vector inside the [0,1] box; they do
+// not fail.
+type Attack interface {
+	Name() string
+	Craft(net *nn.Network, x []float64, label int) []float64
+}
+
+// Box is the valid scaled feature range.
+const (
+	BoxLo = 0.0
+	BoxHi = 1.0
+)
+
+// clipBox clamps v into the [BoxLo, BoxHi] box in place and returns it.
+func clipBox(v []float64) []float64 {
+	for i, x := range v {
+		switch {
+		case x < BoxLo:
+			v[i] = BoxLo
+		case x > BoxHi:
+			v[i] = BoxHi
+		}
+	}
+	return v
+}
+
+// clipLinf projects v onto the L-inf ball of radius eps around center,
+// in place.
+func clipLinf(v, center []float64, eps float64) []float64 {
+	for i := range v {
+		lo, hi := center[i]-eps, center[i]+eps
+		switch {
+		case v[i] < lo:
+			v[i] = lo
+		case v[i] > hi:
+			v[i] = hi
+		}
+	}
+	return v
+}
+
+func sign(x float64) float64 {
+	switch {
+	case x > 0:
+		return 1
+	case x < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+func l2norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func l1norm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+func cloneVec(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// opposite returns the adversary's target class for a binary detector.
+func opposite(label int) int { return 1 - label }
+
+// Default hyper-parameters, from §IV-B2 of the paper.
+const (
+	// DefaultEps is the distortion threshold for FGSM/MIM/PGD/VAM.
+	DefaultEps = 0.3
+	// DefaultCWIters and DefaultCWLR configure C&W (200 iterations, lr 0.1).
+	DefaultCWIters = 200
+	DefaultCWLR    = 0.1
+	// DefaultDeepFoolIters and DefaultOvershoot configure DeepFool.
+	DefaultDeepFoolIters = 100
+	DefaultOvershoot     = 0.02
+	// DefaultEADIters and DefaultEADLR configure ElasticNet.
+	DefaultEADIters = 250
+	DefaultEADLR    = 0.1
+	// DefaultJSMATheta and DefaultJSMAGamma configure JSMA.
+	DefaultJSMATheta = 0.3
+	DefaultJSMAGamma = 0.6
+	// DefaultMIMIters and DefaultPGDIters and DefaultVAMIters configure
+	// the iterative eps-ball attacks.
+	DefaultMIMIters = 10
+	DefaultPGDIters = 40
+	DefaultVAMIters = 40
+)
+
+// All returns the paper's eight attacks with their §IV-B2 configurations,
+// in Table III order.
+func All() []Attack {
+	return []Attack{
+		NewCW(0, 0, 0),
+		NewDeepFool(0, 0),
+		NewElasticNet(0, 0, 0, 0),
+		NewFGSM(0),
+		NewJSMA(0, 0),
+		NewMIM(0, 0),
+		NewPGD(0, 0),
+		NewVAM(0, 0),
+	}
+}

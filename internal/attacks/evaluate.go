@@ -1,0 +1,141 @@
+package attacks
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"advmal/internal/features"
+	"advmal/internal/nn"
+)
+
+// Options configures the Table III evaluation harness.
+type Options struct {
+	// MaxSamples caps how many correctly classified test samples are
+	// attacked (evenly spaced subsample, deterministic); 0 means all.
+	MaxSamples int
+	// Tol is the per-feature change threshold for the Avg.FG column;
+	// 0 means 1e-3 of the scaled range.
+	Tol float64
+	// Workers is the crafting parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Result aggregates one attack's row of Table III.
+type Result struct {
+	Attack        string        `json:"attack"`
+	Total         int           `json:"total"`
+	Misclassified int           `json:"misclassified"`
+	MR            float64       `json:"mr"`     // misclassification rate
+	AvgFG         float64       `json:"avg_fg"` // avg features changed
+	AvgCT         time.Duration `json:"avg_ct"` // crafting time per sample
+	ValidRate     float64       `json:"valid"`  // fraction inside the box
+	MalToBen      int           `json:"mal_to_ben"`
+	BenToMal      int           `json:"ben_to_mal"`
+}
+
+// String renders the result like a Table III row.
+func (r Result) String() string {
+	return fmt.Sprintf("%-11s MR=%6.2f%% Avg.FG=%5.2f CT=%8.3fms (n=%d, valid=%.0f%%)",
+		r.Attack, r.MR*100, r.AvgFG, float64(r.AvgCT.Microseconds())/1000, r.Total, r.ValidRate*100)
+}
+
+// Eligible returns the indices of samples the harness attacks: those the
+// detector classifies correctly, optionally capped to an evenly spaced
+// subset of size maxSamples.
+func Eligible(net *nn.Network, x [][]float64, y []int, maxSamples int) []int {
+	var idx []int
+	for i := range x {
+		if net.Predict(x[i]) == y[i] {
+			idx = append(idx, i)
+		}
+	}
+	if maxSamples > 0 && maxSamples < len(idx) {
+		out := make([]int, maxSamples)
+		for k := 0; k < maxSamples; k++ {
+			out[k] = idx[k*len(idx)/maxSamples]
+		}
+		idx = out
+	}
+	return idx
+}
+
+// Evaluate crafts adversarial examples with every attack against every
+// eligible sample and aggregates the paper's Table III columns. Crafting
+// fans out over weight-sharing network clones; aggregation order is
+// deterministic.
+func Evaluate(net *nn.Network, atks []Attack, x [][]float64, y []int, opts Options) []Result {
+	tol := opts.Tol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	idx := Eligible(net, x, y, opts.MaxSamples)
+	validator := &features.Validator{Lo: BoxLo, Hi: BoxHi, Eps: 1e-9}
+
+	results := make([]Result, 0, len(atks))
+	for _, atk := range atks {
+		type perSample struct {
+			mis   bool
+			fg    int
+			ct    time.Duration
+			valid bool
+			label int
+		}
+		rows := make([]perSample, len(idx))
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				clone := net.CloneShared()
+				for k := w; k < len(idx); k += workers {
+					i := idx[k]
+					t0 := time.Now()
+					adv := atk.Craft(clone, x[i], y[i])
+					ct := time.Since(t0)
+					pred := clone.Predict(adv)
+					rows[k] = perSample{
+						mis:   pred != y[i],
+						fg:    features.Diff(features.Vector(x[i]), features.Vector(adv), tol),
+						ct:    ct,
+						valid: validator.Valid(features.Vector(adv)),
+						label: y[i],
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		var res Result
+		res.Attack = atk.Name()
+		res.Total = len(idx)
+		var fgSum, ctSum, validCnt int64
+		for _, row := range rows {
+			if row.mis {
+				res.Misclassified++
+				if row.label == nn.ClassMalware {
+					res.MalToBen++
+				} else {
+					res.BenToMal++
+				}
+			}
+			fgSum += int64(row.fg)
+			ctSum += int64(row.ct)
+			if row.valid {
+				validCnt++
+			}
+		}
+		if res.Total > 0 {
+			res.MR = float64(res.Misclassified) / float64(res.Total)
+			res.AvgFG = float64(fgSum) / float64(res.Total)
+			res.AvgCT = time.Duration(ctSum / int64(res.Total))
+			res.ValidRate = float64(validCnt) / float64(res.Total)
+		}
+		results = append(results, res)
+	}
+	return results
+}

@@ -1,0 +1,36 @@
+package attacks
+
+import (
+	"advmal/internal/nn"
+)
+
+// FGSM is the fast gradient sign method (Goodfellow et al.): a single step
+// of size eps along the sign of the loss gradient. The paper uses eps=0.3
+// and observes a low misclassification rate — one step cannot escape the
+// local neighbourhood.
+type FGSM struct {
+	Eps float64
+}
+
+// NewFGSM returns an FGSM attack; eps<=0 selects the paper's 0.3.
+func NewFGSM(eps float64) *FGSM {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	return &FGSM{Eps: eps}
+}
+
+// Name implements Attack.
+func (f *FGSM) Name() string { return "FGSM" }
+
+// Craft implements Attack: x' = clip(x + eps * sign(dJ/dx)).
+func (f *FGSM) Craft(net *nn.Network, x []float64, label int) []float64 {
+	_, grad := net.LossGrad(x, label)
+	adv := cloneVec(x)
+	for i := range adv {
+		adv[i] += f.Eps * sign(grad[i])
+	}
+	return clipBox(adv)
+}
+
+var _ Attack = (*FGSM)(nil)

@@ -1,0 +1,50 @@
+package attacks
+
+import (
+	"advmal/internal/nn"
+)
+
+// PGD is projected gradient descent (Madry et al.): iterated FGSM steps
+// projected back onto the eps L-inf ball around the original sample and
+// the [0,1] box. The paper runs 40 iterations with eps=0.3.
+type PGD struct {
+	Eps   float64
+	Iters int
+	// Alpha is the per-step size; 0 means 2.5*Eps/Iters, the standard
+	// choice that lets iterates traverse the ball.
+	Alpha float64
+}
+
+// NewPGD returns a PGD attack; zero parameters select the paper's values.
+func NewPGD(eps float64, iters int) *PGD {
+	if eps <= 0 {
+		eps = DefaultEps
+	}
+	if iters <= 0 {
+		iters = DefaultPGDIters
+	}
+	return &PGD{Eps: eps, Iters: iters}
+}
+
+// Name implements Attack.
+func (p *PGD) Name() string { return "PGD" }
+
+// Craft implements Attack.
+func (p *PGD) Craft(net *nn.Network, x []float64, label int) []float64 {
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = 2.5 * p.Eps / float64(p.Iters)
+	}
+	adv := cloneVec(x)
+	for it := 0; it < p.Iters; it++ {
+		_, grad := net.LossGrad(adv, label)
+		for i := range adv {
+			adv[i] += alpha * sign(grad[i])
+		}
+		clipLinf(adv, x, p.Eps)
+		clipBox(adv)
+	}
+	return adv
+}
+
+var _ Attack = (*PGD)(nil)

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"advmal/internal/synth"
+)
+
+func TestTrainFamilyClassifier(t *testing.T) {
+	s := smallSystem(t)
+	fc, hist, err := s.TrainFamilyClassifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Loss) == 0 {
+		t.Fatal("no training history")
+	}
+	if len(fc.Families) != 6 {
+		t.Fatalf("families = %d, want benign + 5 malware families", len(fc.Families))
+	}
+	if fc.Families[0] != synth.Benign {
+		t.Errorf("class 0 = %v, want benign", fc.Families[0])
+	}
+	if fc.Net.NumClasses() != 6 {
+		t.Errorf("logits = %d, want 6", fc.Net.NumClasses())
+	}
+
+	m, err := s.EvaluateFamilies(fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != s.Test.Len() {
+		t.Errorf("evaluated %d, want %d", m.N, s.Test.Len())
+	}
+	// Family classification is harder than binary, but must beat the
+	// 1/6 random baseline decisively on structurally distinct families.
+	if m.Accuracy < 0.4 {
+		t.Errorf("family accuracy %v, want well above random (0.167)", m.Accuracy)
+	}
+	// Confusion matrix row sums must equal the per-family test counts.
+	for c, row := range m.Confusion {
+		sum := 0
+		for _, v := range row {
+			sum += v
+		}
+		count := 0
+		for _, r := range s.Test.Records {
+			if r.Sample.Family == m.Families[c] {
+				count++
+			}
+		}
+		if sum != count {
+			t.Errorf("confusion row %v sums to %d, want %d", m.Families[c], sum, count)
+		}
+	}
+	// Rendering mentions every family.
+	out := m.String()
+	for _, f := range fc.Families {
+		if !strings.Contains(out, f.String()) {
+			t.Errorf("metrics output missing %v", f)
+		}
+	}
+	// HardestFamilies is a permutation ordered by recall.
+	hardest := m.HardestFamilies()
+	if len(hardest) != 6 {
+		t.Fatalf("hardest = %v", hardest)
+	}
+	for i := 1; i < len(hardest); i++ {
+		if m.Recall[hardest[i-1]] > m.Recall[hardest[i]] {
+			t.Error("HardestFamilies not sorted by ascending recall")
+		}
+	}
+}
+
+func TestTrainFamilyClassifierRequiresCorpus(t *testing.T) {
+	s := New(Config{NumBenign: 5, NumMal: 10})
+	if _, _, err := s.TrainFamilyClassifier(); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("err = %v, want ErrNotBuilt", err)
+	}
+	if _, err := s.EvaluateFamilies(&FamilyClassifier{}); !errors.Is(err, ErrNotBuilt) {
+		t.Errorf("EvaluateFamilies err = %v, want ErrNotBuilt", err)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"advmal/internal/gea"
+	"advmal/internal/nn"
+	"advmal/internal/synth"
+)
+
+// ObfuscationRow reports one semantics-preserving obfuscation pass's
+// untargeted evasion rate against the detector: held-out malware is
+// transformed and re-classified. Unlike GEA there is no target class
+// guidance — the pass just perturbs the CFG — so rates sit between the
+// paper's packing result (total evasion, but functionality-destroying
+// for static analysis) and GEA (targeted, functionality-preserving).
+type ObfuscationRow struct {
+	Pass      synth.Obfuscation `json:"pass"`
+	Intensity float64           `json:"intensity"`
+	Total     int               `json:"total"`
+	Evaded    int               `json:"evaded"`
+	MR        float64           `json:"mr"`
+	Verified  int               `json:"verified"`
+}
+
+// String renders the row.
+func (r ObfuscationRow) String() string {
+	return fmt.Sprintf("%-13s intensity=%.1f MR=%6.2f%% (n=%d, verified=%d)",
+		r.Pass, r.Intensity, r.MR*100, r.Total, r.Verified)
+}
+
+// RunObfuscationExperiment applies every obfuscation pass at the given
+// intensity to the held-out malware and measures how much of it flips to
+// benign, verifying trace preservation on every transformed sample.
+func (s *System) RunObfuscationExperiment(intensity float64) ([]ObfuscationRow, error) {
+	if s.Net == nil {
+		return nil, ErrNotTrained
+	}
+	inputs := synth.ProbeInputs()
+	var rows []ObfuscationRow
+	for _, pass := range synth.Obfuscations() {
+		row := ObfuscationRow{Pass: pass, Intensity: intensity}
+		for _, sample := range s.TestSamples() {
+			if !sample.Malicious {
+				continue
+			}
+			obf, err := synth.Obfuscate(sample.Prog, pass, intensity, s.Config.Seed+int64(sample.ID))
+			if err != nil {
+				return nil, fmt.Errorf("core: obfuscating %q: %w", sample.Name, err)
+			}
+			if err := gea.VerifyEquivalent(sample.Prog, obf, inputs); err != nil {
+				return nil, fmt.Errorf("core: %q: %w", sample.Name, err)
+			}
+			row.Verified++
+			pred, _, err := s.Classify(obf)
+			if err != nil {
+				return nil, err
+			}
+			row.Total++
+			if pred == nn.ClassBenign {
+				row.Evaded++
+			}
+		}
+		if row.Total > 0 {
+			row.MR = float64(row.Evaded) / float64(row.Total)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunObfuscationExperiment(t *testing.T) {
+	s := smallSystem(t)
+	rows, err := s.RunObfuscationExperiment(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want one per pass", len(rows))
+	}
+	for _, r := range rows {
+		if r.Total == 0 {
+			t.Fatalf("%v attacked nothing", r.Pass)
+		}
+		if r.Verified != r.Total {
+			t.Errorf("%v: verified %d of %d — a pass broke functionality",
+				r.Pass, r.Verified, r.Total)
+		}
+		if r.MR < 0 || r.MR > 1 {
+			t.Errorf("%v: MR = %v", r.Pass, r.MR)
+		}
+		if !strings.Contains(r.String(), "MR=") {
+			t.Errorf("row String() = %q", r.String())
+		}
+	}
+}
+
+func TestRunObfuscationExperimentRequiresTraining(t *testing.T) {
+	s := New(Config{NumBenign: 5, NumMal: 10})
+	if _, err := s.RunObfuscationExperiment(0.5); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}

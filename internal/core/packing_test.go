@@ -1,0 +1,30 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRunPackingExperiment(t *testing.T) {
+	s := smallSystem(t)
+	res, err := s.RunPackingExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Fatal("no malware in the test split")
+	}
+	if res.Evaded < 0 || res.Evaded > res.Total {
+		t.Errorf("evaded = %d of %d", res.Evaded, res.Total)
+	}
+	if res.Rate < 0 || res.Rate > 1 {
+		t.Errorf("rate = %v", res.Rate)
+	}
+}
+
+func TestRunPackingExperimentRequiresTraining(t *testing.T) {
+	s := New(Config{NumBenign: 5, NumMal: 10})
+	if _, err := s.RunPackingExperiment(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}

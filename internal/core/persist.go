@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"advmal/internal/features"
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+)
+
+// Detector is the deployable artefact: the fitted scaler plus the trained
+// CNN, everything needed to classify a new program without the corpus.
+type Detector struct {
+	Scaler *features.Scaler
+	Net    *nn.Network
+}
+
+// Detector returns the system's deployable detector.
+func (s *System) Detector() (*Detector, error) {
+	if s.Net == nil {
+		return nil, ErrNotTrained
+	}
+	return &Detector{Scaler: s.Scaler, Net: s.Net}, nil
+}
+
+// Classify runs the full pipeline on one program.
+func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
+	cfg, err := ir.Disassemble(prog)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: %w", err)
+	}
+	raw := features.Extract(cfg.G())
+	scaled, err := d.Scaler.Transform(raw)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: %w", err)
+	}
+	probs := d.Net.Probs(scaled)
+	return nn.Argmax(probs), probs, nil
+}
+
+// detectorEnvelope is the on-disk format: the scaler ranges plus the gob
+// weight snapshot produced by nn.Network.Save.
+type detectorEnvelope struct {
+	Min, Max []float64
+	Weights  []byte
+}
+
+// Save writes the detector (scaler ranges + CNN weights). The
+// architecture is code (PaperCNN), so only parameters are persisted.
+func (d *Detector) Save(w io.Writer) error {
+	if d.Scaler == nil || !d.Scaler.Fitted() || d.Net == nil {
+		return fmt.Errorf("core: save: detector incomplete")
+	}
+	var env detectorEnvelope
+	env.Min = append([]float64(nil), d.Scaler.Min...)
+	env.Max = append([]float64(nil), d.Scaler.Max...)
+	var buf bytes.Buffer
+	if err := d.Net.Save(&buf); err != nil {
+		return err
+	}
+	env.Weights = buf.Bytes()
+	if err := gob.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("core: save detector: %w", err)
+	}
+	return nil
+}
+
+// LoadDetector restores a detector written by Save into a fresh PaperCNN.
+func LoadDetector(r io.Reader) (*Detector, error) {
+	var env detectorEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("core: load detector: %w", err)
+	}
+	if len(env.Min) != features.NumFeatures || len(env.Max) != features.NumFeatures {
+		return nil, fmt.Errorf("core: load detector: scaler has %d/%d ranges, want %d",
+			len(env.Min), len(env.Max), features.NumFeatures)
+	}
+	d := &Detector{
+		Scaler: &features.Scaler{Min: env.Min, Max: env.Max},
+		Net:    nn.PaperCNN(0),
+	}
+	if err := d.Net.Load(bytes.NewReader(env.Weights)); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

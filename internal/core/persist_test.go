@@ -1,0 +1,81 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"advmal/internal/features"
+)
+
+func TestDetectorSaveLoadRoundTrip(t *testing.T) {
+	s := smallSystem(t)
+	det, err := s.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadDetector(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same verdicts and probabilities on every test program.
+	for _, sample := range s.TestSamples()[:20] {
+		p1, probs1, err := det.Classify(sample.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, probs2, err := restored.Classify(sample.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 || probs1[0] != probs2[0] {
+			t.Fatalf("%s: verdicts diverge after reload", sample.Name)
+		}
+	}
+}
+
+func TestDetectorRequiresTraining(t *testing.T) {
+	s := New(Config{NumBenign: 5, NumMal: 10})
+	if _, err := s.Detector(); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}
+
+func TestDetectorSaveIncomplete(t *testing.T) {
+	d := &Detector{}
+	if err := d.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save accepted an incomplete detector")
+	}
+}
+
+func TestLoadDetectorGarbage(t *testing.T) {
+	if _, err := LoadDetector(strings.NewReader("junk")); err == nil {
+		t.Error("LoadDetector accepted garbage")
+	}
+}
+
+func TestLoadDetectorBadScaler(t *testing.T) {
+	s := smallSystem(t)
+	det, err := s.Detector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the scaler dimension by saving a detector with a truncated
+	// scaler.
+	bad := &Detector{
+		Scaler: &features.Scaler{Min: det.Scaler.Min[:5], Max: det.Scaler.Max[:5]},
+		Net:    det.Net,
+	}
+	var buf bytes.Buffer
+	if err := bad.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDetector(&buf); err == nil {
+		t.Error("LoadDetector accepted a wrong-dimension scaler")
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"advmal/internal/attacks"
+	"advmal/internal/gea"
+	"advmal/internal/report"
+)
+
+// RenderTableI renders the class distribution like Table I.
+func (s *System) RenderTableI() (string, error) {
+	rows, err := s.ClassDistribution()
+	if err != nil {
+		return "", err
+	}
+	t := report.New("TABLE I: DISTRIBUTION OF IOT SAMPLES ACROSS THE CLASSES",
+		"Class types", "# of Samples", "% of Samples")
+	for _, r := range rows {
+		t.Add(r.Class, r.Count, report.Pct(r.Percent)+"%")
+	}
+	return t.String(), nil
+}
+
+// RenderTableII renders the feature-category distribution like Table II.
+func RenderTableII() string {
+	t := report.New("TABLE II: DISTRIBUTION OF EXTRACTED FEATURES",
+		"Feature category", "# of features")
+	total := 0
+	for _, g := range FeatureGroups() {
+		t.Add(g.Name, g.Count)
+		total += g.Count
+	}
+	t.Add("Total", total)
+	return t.String()
+}
+
+// RenderTableIII renders the generic-attack results like Table III.
+func RenderTableIII(results []attacks.Result) string {
+	t := report.New("TABLE III: EVALUATION USING GENERIC METHODS",
+		"Attack Method", "MR (%)", "Avg.FG", "CT (ms)")
+	for _, r := range results {
+		t.Add(r.Attack, report.Pct(r.MR), report.F2(r.AvgFG), report.Ms(r.AvgCT))
+	}
+	return t.String()
+}
+
+// RenderGEASize renders Tables IV/V.
+func RenderGEASize(title string, rows []gea.Row) string {
+	t := report.New(title, "Size", "# Nodes", "MR (%)", "CT (ms)")
+	for _, r := range rows {
+		t.Add(string(r.Label), r.TargetNodes, report.Pct(r.MR), report.Ms(r.AvgCT))
+	}
+	return t.String()
+}
+
+// RenderGEAFixed renders Tables VI/VII.
+func RenderGEAFixed(title string, rows []gea.Row) string {
+	t := report.New(title, "# Nodes", "# Edges", "MR (%)", "CT (ms)")
+	for _, r := range rows {
+		t.Add(r.TargetNodes, r.TargetEdges, report.Pct(r.MR), report.Ms(r.AvgCT))
+	}
+	return t.String()
+}
+
+// Render renders the complete report: detector metrics plus every table.
+func (s *System) Render(rep *Report) string {
+	var sb strings.Builder
+	if t, err := s.RenderTableI(); err == nil {
+		sb.WriteString(t)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(RenderTableII())
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "Detector (§IV-C1, malware-positive): %v\n", rep.Detector)
+	fmt.Fprintf(&sb, "Detector (paper's benign-positive convention): %v\n\n", rep.PaperConvention)
+	sb.WriteString(RenderTableIII(rep.TableIII))
+	sb.WriteByte('\n')
+	sb.WriteString(RenderGEASize("TABLE IV: GEA MALWARE TO BENIGN MISCLASSIFICATION RATE", rep.TableIV))
+	sb.WriteByte('\n')
+	sb.WriteString(RenderGEASize("TABLE V: GEA BENIGN TO MALWARE MISCLASSIFICATION RATE", rep.TableV))
+	sb.WriteByte('\n')
+	sb.WriteString(RenderGEAFixed("TABLE VI: GEA MALWARE TO BENIGN, FIXED NUMBER OF NODES", rep.TableVI))
+	sb.WriteByte('\n')
+	sb.WriteString(RenderGEAFixed("TABLE VII: GEA BENIGN TO MALWARE, FIXED NUMBER OF NODES", rep.TableVII))
+	return sb.String()
+}

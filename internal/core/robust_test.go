@@ -1,0 +1,47 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRunRobustFeatureExperiment(t *testing.T) {
+	s := smallSystem(t)
+	res, err := s.RunRobustFeatureExperiment(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MaskedFeatures) != 3 {
+		t.Errorf("default mask = %v, want the 3 size features", res.MaskedFeatures)
+	}
+	if len(res.GEABefore) != 3 || len(res.GEAAfter) != 3 {
+		t.Fatalf("GEA rows %d/%d, want 3/3", len(res.GEABefore), len(res.GEAAfter))
+	}
+	// The masked detector must still work (structure carries signal).
+	if res.CleanAfter.Accuracy < 0.75 {
+		t.Errorf("masked-model accuracy %v collapsed", res.CleanAfter.Accuracy)
+	}
+	// The experiment must not have touched the primary model.
+	m, err := s.EvaluateTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy != res.CleanBefore.Accuracy {
+		t.Error("primary model changed by the robustness experiment")
+	}
+	out := res.String()
+	for _, want := range []string{"masked", "GEA max MR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q: %s", want, out)
+		}
+	}
+	t.Log(out)
+}
+
+func TestRunRobustFeatureExperimentRequiresTraining(t *testing.T) {
+	s := New(Config{NumBenign: 5, NumMal: 10})
+	if _, err := s.RunRobustFeatureExperiment(nil); !errors.Is(err, ErrNotTrained) {
+		t.Errorf("err = %v, want ErrNotTrained", err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package dataset assembles the corpus the detector trains on: it
+// disassembles every sample, extracts the 23 CFG features, carries labels,
+// and provides the stratified train/test split and Table I style class
+// distribution.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"advmal/internal/features"
+	"advmal/internal/ir"
+	"advmal/internal/synth"
+)
+
+// Split errors.
+var (
+	// ErrEmpty indicates an empty dataset where records were required.
+	ErrEmpty = errors.New("dataset: empty dataset")
+	// ErrBadFraction indicates a test fraction outside (0, 1).
+	ErrBadFraction = errors.New("dataset: test fraction must be in (0, 1)")
+)
+
+// Labels for the binary detection task.
+const (
+	LabelBenign  = 0
+	LabelMalware = 1
+)
+
+// Record is one sample with its extracted feature vector.
+type Record struct {
+	Sample *synth.Sample
+	Raw    features.Vector
+	Label  int
+}
+
+// Dataset is an ordered collection of records.
+type Dataset struct {
+	Records []*Record
+}
+
+// FromSamples disassembles every sample and extracts its feature vector,
+// fanning the work across workers goroutines (0 = GOMAXPROCS). The output
+// order matches the input order regardless of scheduling.
+func FromSamples(samples []*synth.Sample, workers int) (*Dataset, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	records := make([]*Record, len(samples))
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(samples); i += workers {
+				s := samples[i]
+				cfg, err := ir.Disassemble(s.Prog)
+				if err != nil {
+					errs[w] = fmt.Errorf("dataset: sample %q: %w", s.Name, err)
+					return
+				}
+				label := LabelBenign
+				if s.Malicious {
+					label = LabelMalware
+				}
+				records[i] = &Record{
+					Sample: s,
+					Raw:    features.Extract(cfg.G()),
+					Label:  label,
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{Records: records}, nil
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// CountByLabel returns (benign, malware) counts — the Table I distribution.
+func (d *Dataset) CountByLabel() (benign, malware int) {
+	for _, r := range d.Records {
+		if r.Label == LabelMalware {
+			malware++
+		} else {
+			benign++
+		}
+	}
+	return benign, malware
+}
+
+// ByLabel returns the records with the given label, preserving order.
+func (d *Dataset) ByLabel(label int) []*Record {
+	var out []*Record
+	for _, r := range d.Records {
+		if r.Label == label {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RawVectors returns every record's raw feature vector, in order.
+func (d *Dataset) RawVectors() []features.Vector {
+	out := make([]features.Vector, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = r.Raw
+	}
+	return out
+}
+
+// Labels returns every record's label, in order.
+func (d *Dataset) Labels() []int {
+	out := make([]int, len(d.Records))
+	for i, r := range d.Records {
+		out[i] = r.Label
+	}
+	return out
+}
+
+// Split partitions the dataset into train and test with per-class
+// (stratified) sampling so both splits preserve the class imbalance.
+// testFrac is the fraction of each class assigned to test. Deterministic
+// for a given seed.
+func (d *Dataset) Split(testFrac float64, seed int64) (train, test *Dataset, err error) {
+	if d.Len() == 0 {
+		return nil, nil, ErrEmpty
+	}
+	if testFrac <= 0 || testFrac >= 1 {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadFraction, testFrac)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train = &Dataset{}
+	test = &Dataset{}
+	for _, label := range []int{LabelBenign, LabelMalware} {
+		recs := d.ByLabel(label)
+		idx := rng.Perm(len(recs))
+		nTest := int(float64(len(recs)) * testFrac)
+		inTest := make([]bool, len(recs))
+		for _, i := range idx[:nTest] {
+			inTest[i] = true
+		}
+		for i, r := range recs {
+			if inTest[i] {
+				test.Records = append(test.Records, r)
+			} else {
+				train.Records = append(train.Records, r)
+			}
+		}
+	}
+	return train, test, nil
+}

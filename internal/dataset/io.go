@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"advmal/internal/features"
+	"advmal/internal/synth"
+)
+
+// SaveSamples writes the corpus (programs included) as JSON.
+func SaveSamples(w io.Writer, samples []*synth.Sample) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(samples); err != nil {
+		return fmt.Errorf("dataset: save samples: %w", err)
+	}
+	return nil
+}
+
+// LoadSamples reads a corpus previously written by SaveSamples and
+// validates every program.
+func LoadSamples(r io.Reader) ([]*synth.Sample, error) {
+	var samples []*synth.Sample
+	if err := json.NewDecoder(r).Decode(&samples); err != nil {
+		return nil, fmt.Errorf("dataset: load samples: %w", err)
+	}
+	for i, s := range samples {
+		if s.Prog == nil {
+			return nil, fmt.Errorf("dataset: sample %d has no program", i)
+		}
+		if err := s.Prog.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: sample %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return samples, nil
+}
+
+// SaveCSV writes the feature matrix with a header row: name, family, the
+// 23 feature columns, and the label.
+func (d *Dataset) SaveCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"name", "family"}, features.Names()...)
+	header = append(header, "label")
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: csv header: %w", err)
+	}
+	for _, r := range d.Records {
+		row := make([]string, 0, len(header))
+		row = append(row, r.Sample.Name, r.Sample.Family.String())
+		for _, x := range r.Raw {
+			row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		}
+		row = append(row, strconv.Itoa(r.Label))
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: csv row %q: %w", r.Sample.Name, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: csv flush: %w", err)
+	}
+	return nil
+}

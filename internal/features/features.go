@@ -1,0 +1,179 @@
+// Package features extracts the paper's 23 CFG-based features (Table II)
+// from a control flow graph and provides the min-max scaler and the
+// distortion validator of Fig. 1.
+//
+// The 23 features are seven groups: four distribution groups — betweenness
+// centrality, closeness centrality, degree centrality, and shortest-path
+// length — each summarized by {min, max, median, mean, standard deviation},
+// plus three scalar features: graph density, number of edges, and number of
+// nodes.
+package features
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"advmal/internal/graph"
+)
+
+// NumFeatures is the length of a feature vector (Table II).
+const NumFeatures = 23
+
+// Group identifies one of the seven feature categories of Table II.
+type Group int
+
+// Feature categories, in vector order.
+const (
+	GroupBetweenness Group = iota + 1
+	GroupCloseness
+	GroupDegree
+	GroupShortestPath
+	GroupDensity
+	GroupEdges
+	GroupNodes
+)
+
+var groupNames = map[Group]string{
+	GroupBetweenness:  "Betweenness centrality",
+	GroupCloseness:    "Closeness centrality",
+	GroupDegree:       "Degree centrality",
+	GroupShortestPath: "Shortest path",
+	GroupDensity:      "Density",
+	GroupEdges:        "# of Edges",
+	GroupNodes:        "# of Nodes",
+}
+
+// String returns the Table II name of the group.
+func (g Group) String() string {
+	if s, ok := groupNames[g]; ok {
+		return s
+	}
+	return fmt.Sprintf("Group(%d)", int(g))
+}
+
+// Size returns the number of features in the group (Table II).
+func (g Group) Size() int {
+	switch g {
+	case GroupBetweenness, GroupCloseness, GroupDegree, GroupShortestPath:
+		return 5
+	case GroupDensity, GroupEdges, GroupNodes:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Groups lists the seven categories in feature-vector order.
+func Groups() []Group {
+	return []Group{
+		GroupBetweenness, GroupCloseness, GroupDegree,
+		GroupShortestPath, GroupDensity, GroupEdges, GroupNodes,
+	}
+}
+
+var statNames = [5]string{"min", "max", "median", "mean", "std"}
+
+// Names returns the 23 feature names in vector order.
+func Names() []string {
+	names := make([]string, 0, NumFeatures)
+	for _, g := range Groups() {
+		if g.Size() == 5 {
+			for _, s := range statNames {
+				names = append(names, fmt.Sprintf("%s (%s)", g, s))
+			}
+			continue
+		}
+		names = append(names, g.String())
+	}
+	return names
+}
+
+// GroupOf returns the category of feature index i in [0, NumFeatures).
+func GroupOf(i int) Group {
+	switch {
+	case i < 5:
+		return GroupBetweenness
+	case i < 10:
+		return GroupCloseness
+	case i < 15:
+		return GroupDegree
+	case i < 20:
+		return GroupShortestPath
+	case i == 20:
+		return GroupDensity
+	case i == 21:
+		return GroupEdges
+	default:
+		return GroupNodes
+	}
+}
+
+// Vector is a 23-dimensional feature vector in the order of Table II.
+type Vector []float64
+
+// Clone returns a copy of the vector.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Summary5 returns {min, max, median, mean, population std} of values.
+// An empty input yields all zeros, which is what a degenerate
+// (single-node, edge-free) CFG produces.
+func Summary5(values []float64) [5]float64 {
+	var s [5]float64
+	n := len(values)
+	if n == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	s[0] = sorted[0]
+	s[1] = sorted[n-1]
+	if n%2 == 1 {
+		s[2] = sorted[n/2]
+	} else {
+		s[2] = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	mean := sum / float64(n)
+	s[3] = mean
+	var varSum float64
+	for _, x := range sorted {
+		d := x - mean
+		varSum += d * d
+	}
+	s[4] = math.Sqrt(varSum / float64(n))
+	return s
+}
+
+// Extract computes the 23-feature vector of g.
+func Extract(g *graph.Graph) Vector {
+	v := make(Vector, 0, NumFeatures)
+	for _, stats := range [][5]float64{
+		Summary5(g.BetweennessCentrality()),
+		Summary5(g.ClosenessCentrality()),
+		Summary5(g.DegreeCentrality()),
+		Summary5(g.ShortestPathLengths()),
+	} {
+		v = append(v, stats[:]...)
+	}
+	v = append(v, g.Density(), float64(g.M()), float64(g.N()))
+	return v
+}
+
+// Diff counts the features where a and b differ by more than tol — the
+// paper's Avg.FG statistic counts these per crafted adversarial example.
+func Diff(a, b Vector, tol float64) int {
+	n := 0
+	for i := range a {
+		if i >= len(b) {
+			break
+		}
+		if math.Abs(a[i]-b[i]) > tol {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,141 @@
+package features
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Scaler errors.
+var (
+	// ErrNotFitted indicates use of a Scaler before Fit.
+	ErrNotFitted = errors.New("features: scaler not fitted")
+	// ErrBadLength indicates a vector of the wrong dimension.
+	ErrBadLength = errors.New("features: wrong vector length")
+	// ErrNoData indicates Fit was called with no vectors.
+	ErrNoData = errors.New("features: no vectors to fit")
+)
+
+// Scaler min-max normalizes feature vectors to [0, 1] using ranges observed
+// on the training split. Test-time values outside the training range map
+// outside [0, 1]; attacks clip to the box themselves and the Validator
+// flags escapes, mirroring the paper's "distortion validator" (Fig. 1).
+type Scaler struct {
+	Min    []float64 `json:"min"`
+	Max    []float64 `json:"max"`
+	fitted bool
+}
+
+// Fit learns per-feature minima and maxima from the training vectors.
+func (s *Scaler) Fit(vs []Vector) error {
+	if len(vs) == 0 {
+		return ErrNoData
+	}
+	dim := len(vs[0])
+	s.Min = make([]float64, dim)
+	s.Max = make([]float64, dim)
+	copy(s.Min, vs[0])
+	copy(s.Max, vs[0])
+	for _, v := range vs[1:] {
+		if len(v) != dim {
+			return fmt.Errorf("%w: got %d want %d", ErrBadLength, len(v), dim)
+		}
+		for i, x := range v {
+			if x < s.Min[i] {
+				s.Min[i] = x
+			}
+			if x > s.Max[i] {
+				s.Max[i] = x
+			}
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Fitted reports whether Fit has been called (or ranges were deserialized).
+func (s *Scaler) Fitted() bool { return s.fitted || len(s.Min) > 0 }
+
+// Transform returns the scaled copy of v. Constant features map to 0.
+func (s *Scaler) Transform(v Vector) (Vector, error) {
+	if !s.Fitted() {
+		return nil, ErrNotFitted
+	}
+	if len(v) != len(s.Min) {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadLength, len(v), len(s.Min))
+	}
+	out := make(Vector, len(v))
+	for i, x := range v {
+		span := s.Max[i] - s.Min[i]
+		if span == 0 {
+			continue
+		}
+		out[i] = (x - s.Min[i]) / span
+	}
+	return out, nil
+}
+
+// TransformAll applies Transform to every vector.
+func (s *Scaler) TransformAll(vs []Vector) ([]Vector, error) {
+	out := make([]Vector, len(vs))
+	for i, v := range vs {
+		t, err := s.Transform(v)
+		if err != nil {
+			return nil, fmt.Errorf("features: vector %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Inverse maps a scaled vector back to raw feature space.
+func (s *Scaler) Inverse(v Vector) (Vector, error) {
+	if !s.Fitted() {
+		return nil, ErrNotFitted
+	}
+	if len(v) != len(s.Min) {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrBadLength, len(v), len(s.Min))
+	}
+	out := make(Vector, len(v))
+	for i, x := range v {
+		out[i] = x*(s.Max[i]-s.Min[i]) + s.Min[i]
+	}
+	return out, nil
+}
+
+// Validator implements the distortion-validation step of Fig. 1: a crafted
+// adversarial example is accepted only if every feature stays inside the
+// feature-space box observed during training, within tolerance Eps.
+type Validator struct {
+	Lo, Hi float64 // box bounds in scaled space; typically 0 and 1
+	Eps    float64 // tolerance
+}
+
+// NewValidator returns the standard [0,1] box validator with tolerance eps.
+func NewValidator(eps float64) *Validator {
+	return &Validator{Lo: 0, Hi: 1, Eps: eps}
+}
+
+// Valid reports whether every feature of the scaled vector is inside the
+// box, within tolerance.
+func (d *Validator) Valid(v Vector) bool {
+	for _, x := range v {
+		if x < d.Lo-d.Eps || x > d.Hi+d.Eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Clip returns a copy of v with every feature clamped to the box.
+func (d *Validator) Clip(v Vector) Vector {
+	out := v.Clone()
+	for i, x := range out {
+		switch {
+		case x < d.Lo:
+			out[i] = d.Lo
+		case x > d.Hi:
+			out[i] = d.Hi
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package features
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func fitScaler(t *testing.T, vs []Vector) *Scaler {
+	t.Helper()
+	s := &Scaler{}
+	if err := s.Fit(vs); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	return s
+}
+
+func TestScalerFitErrors(t *testing.T) {
+	s := &Scaler{}
+	if err := s.Fit(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("Fit(nil) = %v, want ErrNoData", err)
+	}
+	if err := s.Fit([]Vector{{1, 2}, {1}}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Fit(ragged) = %v, want ErrBadLength", err)
+	}
+}
+
+func TestScalerNotFitted(t *testing.T) {
+	s := &Scaler{}
+	if _, err := s.Transform(Vector{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("Transform before Fit = %v, want ErrNotFitted", err)
+	}
+	if _, err := s.Inverse(Vector{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("Inverse before Fit = %v, want ErrNotFitted", err)
+	}
+}
+
+func TestScalerTransform(t *testing.T) {
+	s := fitScaler(t, []Vector{{0, 10, 5}, {10, 20, 5}})
+	got, err := s.Transform(Vector{5, 15, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Vector{0.5, 0.5, 0} // constant feature maps to 0
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("Transform[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScalerTransformOutOfRange(t *testing.T) {
+	s := fitScaler(t, []Vector{{0}, {10}})
+	got, err := s.Transform(Vector{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Errorf("out-of-range value = %v, want 2 (no clipping in Transform)", got[0])
+	}
+}
+
+func TestScalerWrongLength(t *testing.T) {
+	s := fitScaler(t, []Vector{{0, 1}, {1, 2}})
+	if _, err := s.Transform(Vector{1}); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Transform wrong length = %v, want ErrBadLength", err)
+	}
+}
+
+func TestScalerRoundTrip(t *testing.T) {
+	s := fitScaler(t, []Vector{{-5, 0, 100}, {5, 1, 300}})
+	orig := Vector{2.5, 0.25, 150}
+	scaled, err := s.Transform(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Inverse(scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if math.Abs(back[i]-orig[i]) > 1e-9 {
+			t.Errorf("roundtrip[%d] = %v, want %v", i, back[i], orig[i])
+		}
+	}
+}
+
+func TestScalerTransformAll(t *testing.T) {
+	s := fitScaler(t, []Vector{{0}, {2}})
+	out, err := s.TransformAll([]Vector{{0}, {1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if out[i][0] != want[i] {
+			t.Errorf("TransformAll[%d] = %v, want %v", i, out[i][0], want[i])
+		}
+	}
+	if _, err := s.TransformAll([]Vector{{0, 1}}); err == nil {
+		t.Error("TransformAll accepted wrong-length vector")
+	}
+}
+
+func TestScalerTrainVectorsMapIntoBox(t *testing.T) {
+	train := []Vector{{3, -1}, {7, 4}, {5, 0}}
+	s := fitScaler(t, train)
+	v := NewValidator(0)
+	for i, tv := range train {
+		scaled, err := s.Transform(tv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Valid(scaled) {
+			t.Errorf("train vector %d scaled outside [0,1]: %v", i, scaled)
+		}
+	}
+}
+
+func TestValidator(t *testing.T) {
+	v := NewValidator(1e-9)
+	tests := []struct {
+		in   Vector
+		want bool
+	}{
+		{Vector{0, 0.5, 1}, true},
+		{Vector{-0.01, 0.5}, false},
+		{Vector{0.5, 1.01}, false},
+		{Vector{}, true},
+	}
+	for _, tc := range tests {
+		if got := v.Valid(tc.in); got != tc.want {
+			t.Errorf("Valid(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValidatorClip(t *testing.T) {
+	v := NewValidator(0)
+	in := Vector{-1, 0.5, 2}
+	got := v.Clip(in)
+	want := Vector{0, 0.5, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Clip[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if in[0] != -1 {
+		t.Error("Clip mutated its input")
+	}
+}

@@ -1,0 +1,100 @@
+package features
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroupSummary is the distribution of one feature across a set of
+// samples: {min, max, median, mean, std} over the population.
+type GroupSummary struct {
+	Feature string     `json:"feature"`
+	Stats   [5]float64 `json:"stats"` // min, max, median, mean, std
+}
+
+// Describe summarizes every feature's distribution across the given
+// vectors — the per-class comparative analysis of §III ("number of nodes
+// and edges, average shortest path, betweenness, closeness, density").
+func Describe(vs []Vector) []GroupSummary {
+	if len(vs) == 0 {
+		return nil
+	}
+	dim := len(vs[0])
+	names := Names()
+	out := make([]GroupSummary, 0, dim)
+	col := make([]float64, 0, len(vs))
+	for j := 0; j < dim; j++ {
+		col = col[:0]
+		for _, v := range vs {
+			if j < len(v) {
+				col = append(col, v[j])
+			}
+		}
+		name := fmt.Sprintf("feature %d", j)
+		if j < len(names) {
+			name = names[j]
+		}
+		out = append(out, GroupSummary{Feature: name, Stats: Summary5(col)})
+	}
+	return out
+}
+
+// Compare renders a side-by-side per-feature comparison of two
+// populations (e.g. benign vs malware medians), the analysis the paper's
+// related work (Alasmary et al.) performs and this paper's §III builds
+// on. It reports each feature's median in both populations and the
+// relative gap.
+func Compare(labelA string, a []Vector, labelB string, b []Vector) string {
+	da, db := Describe(a), Describe(b)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-30s %12s %12s %8s\n", "feature (median)", labelA, labelB, "ratio")
+	for i := range da {
+		if i >= len(db) {
+			break
+		}
+		ma, mb := da[i].Stats[2], db[i].Stats[2]
+		ratio := "-"
+		if ma != 0 {
+			ratio = fmt.Sprintf("%.2f", mb/ma)
+		}
+		fmt.Fprintf(&sb, "%-30s %12.4f %12.4f %8s\n", da[i].Feature, ma, mb, ratio)
+	}
+	return sb.String()
+}
+
+// TopDiscriminative ranks features by how far apart the two populations'
+// medians are relative to their pooled spread (a robust effect size),
+// returning the k most separating feature indices, best first.
+func TopDiscriminative(a, b []Vector, k int) []int {
+	da, db := Describe(a), Describe(b)
+	n := len(da)
+	if len(db) < n {
+		n = len(db)
+	}
+	type scored struct {
+		idx   int
+		score float64
+	}
+	scores := make([]scored, 0, n)
+	for i := 0; i < n; i++ {
+		spread := da[i].Stats[4] + db[i].Stats[4]
+		if spread == 0 {
+			spread = 1e-12
+		}
+		diff := da[i].Stats[2] - db[i].Stats[2]
+		if diff < 0 {
+			diff = -diff
+		}
+		scores = append(scores, scored{i, diff / spread})
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].score > scores[j].score })
+	if k > len(scores) {
+		k = len(scores)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = scores[i].idx
+	}
+	return out
+}

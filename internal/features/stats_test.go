@@ -1,0 +1,69 @@
+package features
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribe(t *testing.T) {
+	vs := []Vector{
+		make(Vector, NumFeatures),
+		make(Vector, NumFeatures),
+	}
+	vs[0][22] = 10 // nodes
+	vs[1][22] = 30
+	d := Describe(vs)
+	if len(d) != NumFeatures {
+		t.Fatalf("Describe = %d rows", len(d))
+	}
+	nodes := d[22]
+	if nodes.Feature != "# of Nodes" {
+		t.Errorf("feature name = %q", nodes.Feature)
+	}
+	if nodes.Stats[0] != 10 || nodes.Stats[1] != 30 || nodes.Stats[3] != 20 {
+		t.Errorf("node stats = %v", nodes.Stats)
+	}
+	if Describe(nil) != nil {
+		t.Error("Describe(nil) should be nil")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := []Vector{make(Vector, NumFeatures)}
+	b := []Vector{make(Vector, NumFeatures)}
+	a[0][22] = 10
+	b[0][22] = 20
+	out := Compare("benign", a, "malware", b)
+	if !strings.Contains(out, "benign") || !strings.Contains(out, "malware") {
+		t.Errorf("Compare missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "# of Nodes") {
+		t.Errorf("Compare missing feature names:\n%s", out)
+	}
+	if !strings.Contains(out, "2.00") {
+		t.Errorf("Compare missing ratio:\n%s", out)
+	}
+}
+
+func TestTopDiscriminative(t *testing.T) {
+	mk := func(nodeVal, edgeVal float64) Vector {
+		v := make(Vector, NumFeatures)
+		v[21] = edgeVal
+		v[22] = nodeVal
+		return v
+	}
+	// Populations differ strongly on feature 22 (nodes), weakly on 21.
+	a := []Vector{mk(10, 5), mk(11, 6), mk(9, 5)}
+	b := []Vector{mk(100, 7), mk(105, 8), mk(95, 7)}
+	top := TopDiscriminative(a, b, 2)
+	if len(top) != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] != 22 {
+		t.Errorf("most discriminative = %d, want 22 (# of Nodes)", top[0])
+	}
+	// k beyond dimension clamps.
+	if got := TopDiscriminative(a, b, 1000); len(got) != NumFeatures {
+		t.Errorf("clamped top = %d features", len(got))
+	}
+}

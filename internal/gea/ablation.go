@@ -1,0 +1,75 @@
+package gea
+
+import (
+	"fmt"
+
+	"advmal/internal/ir"
+)
+
+// MergeNoSharedExit is the ablation of Merge that DESIGN.md calls out:
+// the target body keeps its own ret instructions instead of being
+// rewired into the shared exit block, so the combined CFG shares only
+// the entry node (Fig. 4 without the common exit). Functionality is
+// still preserved — the opaque predicate keeps the target body dead.
+// Comparing misclassification rates between Merge and MergeNoSharedExit
+// isolates how much the shared-exit structure itself contributes to the
+// feature shift.
+func MergeNoSharedExit(orig, target *ir.Program) (*ir.Program, error) {
+	if err := orig.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: original: %w", err)
+	}
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: target: %w", err)
+	}
+	origBase := stubLen
+	targetBase := origBase + len(orig.Code)
+	exitIdx := targetBase + len(target.Code)
+
+	code := make([]ir.Instr, 0, exitIdx+1)
+	code = append(code,
+		ir.Instr{Op: ir.MovI, A: predicateReg, B: 1},
+		ir.Instr{Op: ir.CmpI, A: predicateReg, B: 0},
+		ir.Instr{Op: ir.Jeq, A: int32(targetBase)},
+	)
+	// The original still exits through the trailing shared block so the
+	// ablation isolates the *target's* exit wiring.
+	code = appendRelocated(code, orig.Code, int32(origBase), int32(exitIdx))
+	// Target body verbatim (rets kept), only jump targets shifted.
+	for _, ins := range target.Code {
+		if ins.Op.IsJump() {
+			ins.A += int32(targetBase)
+		}
+		code = append(code, ins)
+	}
+	code = append(code, ir.Instr{Op: ir.Ret})
+
+	merged := &ir.Program{
+		Name: fmt.Sprintf("gea-noexit(%s+%s)", orig.Name, target.Name),
+		Code: code,
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: merged: %w", err)
+	}
+	return merged, nil
+}
+
+// CompareExitWiring crafts both merge variants for one original/target
+// pair and classifies each, returning (sharedExitPred, ownExitsPred).
+// Used by the ablation bench and example analyses.
+func (p *Pipeline) CompareExitWiring(orig, target *ir.Program) (shared, own int, err error) {
+	m1, err := Merge(orig, target)
+	if err != nil {
+		return 0, 0, err
+	}
+	m2, err := MergeNoSharedExit(orig, target)
+	if err != nil {
+		return 0, 0, err
+	}
+	if shared, err = p.classifyProgram(m1); err != nil {
+		return 0, 0, err
+	}
+	if own, err = p.classifyProgram(m2); err != nil {
+		return 0, 0, err
+	}
+	return shared, own, nil
+}

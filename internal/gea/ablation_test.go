@@ -1,0 +1,80 @@
+package gea
+
+import (
+	"testing"
+
+	"advmal/internal/ir"
+	"advmal/internal/synth"
+)
+
+func TestMergeNoSharedExitStructure(t *testing.T) {
+	orig := FigureOriginal()
+	target := FigureTarget()
+	merged, err := MergeNoSharedExit(orig, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ir.Disassemble(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.G()
+	// Entry still branches both ways.
+	if g.OutDegree(0) != 2 {
+		t.Errorf("entry out-degree = %d, want 2", g.OutDegree(0))
+	}
+	// There must be more than one exit block now (the target keeps its
+	// own rets; the original routes to the trailing ret).
+	exits := cfg.ExitBlocks(merged)
+	if len(exits) < 2 {
+		t.Errorf("exits = %v, want >= 2 (no shared exit)", exits)
+	}
+	// The trailing shared block is reached only from the original body.
+	last := g.N() - 1
+	if g.InDegree(last) < 1 {
+		t.Errorf("trailing exit in-degree = %d", g.InDegree(last))
+	}
+}
+
+func TestMergeNoSharedExitPreservesFunctionality(t *testing.T) {
+	orig := FigureOriginal()
+	merged, err := MergeNoSharedExit(orig, FigureTarget())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyEquivalent(orig, merged, synth.ProbeInputs()); err != nil {
+		t.Fatalf("no-shared-exit merge broke functionality: %v", err)
+	}
+}
+
+func TestMergeNoSharedExitRejectsInvalid(t *testing.T) {
+	valid := FigureOriginal()
+	if _, err := MergeNoSharedExit(&ir.Program{}, valid); err == nil {
+		t.Error("accepted invalid original")
+	}
+	if _, err := MergeNoSharedExit(valid, &ir.Program{}); err == nil {
+		t.Error("accepted invalid target")
+	}
+}
+
+func TestCompareExitWiring(t *testing.T) {
+	p, samples := testPipeline(t)
+	var mal, ben *synth.Sample
+	for _, s := range samples {
+		if s.Malicious && mal == nil {
+			mal = s
+		}
+		if !s.Malicious && ben == nil {
+			ben = s
+		}
+	}
+	shared, own, err := p.CompareExitWiring(mal.Prog, ben.Prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range []int{shared, own} {
+		if pred != 0 && pred != 1 {
+			t.Errorf("prediction out of range: %d", pred)
+		}
+	}
+}

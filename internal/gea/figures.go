@@ -1,0 +1,52 @@
+package gea
+
+import (
+	"advmal/internal/ir"
+)
+
+// FigureOriginal returns the ir equivalent of the paper's Fig. 2 original
+// sample: a counter initialized to zero and incremented in a loop until it
+// exceeds nine, then return.
+//
+//	movi r4, 0
+//	loop: addi r4, 1 ; cmpi r4, 9 ; jle loop
+//	movr r0, r4 ; ret
+func FigureOriginal() *ir.Program {
+	p, err := ir.NewAsm("fig2-original").
+		Emit(ir.MovI, 4, 0).
+		Label("loop").
+		Emit(ir.AddI, 4, 1).
+		Emit(ir.CmpI, 4, 9).
+		Jump(ir.Jle, "loop").
+		Emit(ir.MovR, 0, 4).
+		Emit(ir.Ret).
+		Build()
+	if err != nil {
+		// The program is a compile-time constant; failure is a bug.
+		panic(err)
+	}
+	return p
+}
+
+// FigureTarget returns the ir equivalent of the paper's Fig. 3 selected
+// target sample: straight-line constant stores ending in a small epilogue
+// block.
+//
+//	movi r4, 1 ; movi r4, 2 ; movi r4, 10
+//	jmp end
+//	end: nop ; ret
+func FigureTarget() *ir.Program {
+	p, err := ir.NewAsm("fig3-target").
+		Emit(ir.MovI, 4, 1).
+		Emit(ir.MovI, 4, 2).
+		Emit(ir.MovI, 4, 10).
+		Jump(ir.Jmp, "end").
+		Label("end").
+		Emit(ir.Nop).
+		Emit(ir.Ret).
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

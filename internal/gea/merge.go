@@ -1,0 +1,114 @@
+// Package gea implements the paper's contribution: Graph Embedding and
+// Augmentation (§III-B). GEA splices a selected target program into the
+// original program behind an opaque predicate so that
+//
+//   - the combined CFG contains both subgraphs, sharing one entry and one
+//     exit node (Fig. 4), which moves the extracted graph features toward
+//     the target class, while
+//   - only the original body ever executes, so the sample's observable
+//     behaviour — and therefore its practicality and functionality — is
+//     preserved, which the package verifies mechanically by comparing
+//     interpreter traces.
+package gea
+
+import (
+	"errors"
+	"fmt"
+
+	"advmal/internal/ir"
+)
+
+// Merge errors.
+var (
+	// ErrNotEquivalent indicates the merged program's observable
+	// behaviour diverged from the original's.
+	ErrNotEquivalent = errors.New("gea: merged program not equivalent")
+)
+
+// stubLen is the length of the injected entry block:
+// movi r7,1 ; cmpi r7,0 ; jeq <target entry>.
+const stubLen = 3
+
+// predicateReg is the scratch register the opaque predicate uses. The ir
+// package's calling convention treats r4-r7 and the comparison flag as
+// undefined at function entry, so clobbering them before the original
+// body cannot change its behaviour.
+const predicateReg = 7
+
+// Merge embeds target into orig per Fig. 4: a new shared entry block whose
+// opaque predicate (always false at run time, opaque to static CFG
+// extraction) branches to the relocated target body, falls through to the
+// relocated original body, and both bodies' returns are rewritten to jump
+// to a new shared exit block holding the single ret.
+func Merge(orig, target *ir.Program) (*ir.Program, error) {
+	if err := orig.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: original: %w", err)
+	}
+	if err := target.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: target: %w", err)
+	}
+	origBase := stubLen
+	targetBase := origBase + len(orig.Code)
+	exitIdx := targetBase + len(target.Code)
+
+	code := make([]ir.Instr, 0, exitIdx+1)
+	// Shared entry block with the opaque predicate: r7 == 1, compared
+	// against 0, so the jeq edge into the target body is never taken.
+	code = append(code,
+		ir.Instr{Op: ir.MovI, A: predicateReg, B: 1},
+		ir.Instr{Op: ir.CmpI, A: predicateReg, B: 0},
+		ir.Instr{Op: ir.Jeq, A: int32(targetBase)},
+	)
+	code = appendRelocated(code, orig.Code, int32(origBase), int32(exitIdx))
+	code = appendRelocated(code, target.Code, int32(targetBase), int32(exitIdx))
+	// Shared exit block.
+	code = append(code, ir.Instr{Op: ir.Ret})
+
+	merged := &ir.Program{
+		Name: fmt.Sprintf("gea(%s+%s)", orig.Name, target.Name),
+		Code: code,
+	}
+	if err := merged.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: merged: %w", err)
+	}
+	return merged, nil
+}
+
+// appendRelocated copies body shifting jump targets by base and rewriting
+// every ret into a jump to the shared exit block.
+func appendRelocated(dst, body []ir.Instr, base, exitIdx int32) []ir.Instr {
+	for _, ins := range body {
+		switch {
+		case ins.Op == ir.Ret:
+			dst = append(dst, ir.Instr{Op: ir.Jmp, A: exitIdx})
+		case ins.Op.IsJump():
+			ins.A += base
+			dst = append(dst, ins)
+		default:
+			dst = append(dst, ins)
+		}
+	}
+	return dst
+}
+
+// VerifyEquivalent runs orig and merged on every probe input and returns
+// ErrNotEquivalent if any observable trace differs. This is the
+// functionality-preservation check the paper claims for GEA.
+func VerifyEquivalent(orig, merged *ir.Program, inputs [][]int64) error {
+	it := &ir.Interp{}
+	for _, in := range inputs {
+		want, err := it.Run(orig, in...)
+		if err != nil {
+			return fmt.Errorf("gea: running original on %v: %w", in, err)
+		}
+		got, err := it.Run(merged, in...)
+		if err != nil {
+			return fmt.Errorf("gea: running merged on %v: %w", in, err)
+		}
+		if !want.Equal(got) {
+			return fmt.Errorf("%w: input %v: result %d vs %d, %d vs %d events",
+				ErrNotEquivalent, in, want.Result, got.Result, len(want.Events), len(got.Events))
+		}
+	}
+	return nil
+}

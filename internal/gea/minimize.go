@@ -1,0 +1,157 @@
+package gea
+
+import (
+	"errors"
+	"fmt"
+
+	"advmal/internal/features"
+	"advmal/internal/ir"
+)
+
+// Minimization errors.
+var (
+	// ErrCannotMinimize indicates even the full target fails to flip the
+	// classifier, so there is nothing to minimize.
+	ErrCannotMinimize = errors.New("gea: full target does not flip the classifier")
+)
+
+// TruncateTarget returns a copy of target reduced to its first k basic
+// blocks. Jumps that leave the kept prefix are retargeted to a fresh
+// trailing ret, so the result is a valid program. k is clamped to the
+// block count; k < 1 is an error.
+func TruncateTarget(target *ir.Program, k int) (*ir.Program, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gea: truncate to %d blocks", k)
+	}
+	cfg, err := ir.Disassemble(target)
+	if err != nil {
+		return nil, fmt.Errorf("gea: truncate: %w", err)
+	}
+	if k >= len(cfg.Blocks) {
+		return target.Clone(), nil
+	}
+	cut := cfg.Blocks[k-1].End
+	code := append([]ir.Instr(nil), target.Code[:cut]...)
+	retIdx := int32(len(code))
+	needRet := false
+	hasRet := false
+	for i, ins := range code {
+		if ins.Op.IsJump() && ins.A >= int32(cut) {
+			code[i].A = retIdx
+			needRet = true
+		}
+		if ins.Op == ir.Ret {
+			hasRet = true
+		}
+	}
+	// Terminate the prefix: retargeted jumps land here, a fall-off-end
+	// tail needs an exit, and validation requires at least one ret.
+	if needRet || !hasRet || !code[len(code)-1].Op.Terminates() {
+		code = append(code, ir.Instr{Op: ir.Ret})
+	}
+	p := &ir.Program{Name: fmt.Sprintf("%s[:%d]", target.Name, k), Code: code}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("gea: truncate: %w", err)
+	}
+	return p, nil
+}
+
+// MinimizeResult reports the outcome of target-size minimization.
+type MinimizeResult struct {
+	// Blocks is the number of target blocks kept.
+	Blocks int
+	// FullBlocks is the block count of the untruncated target.
+	FullBlocks int
+	// Target is the truncated target program actually embedded.
+	Target *ir.Program
+	// Merged is the final adversarial program.
+	Merged *ir.Program
+}
+
+// MinimizeTargetSize addresses the paper's §VI future-work item: find a
+// small prefix of the target whose GEA embedding still flips the
+// classifier, shrinking the size overhead GEA adds to the original
+// sample. It exponentially grows the kept-prefix size until the merge
+// flips the classifier, then binary-searches the crossing point
+// (misclassification is approximately monotone in embedded-subgraph
+// size, per Tables IV/V). The returned merge is verified
+// functionality-preserving on the probe inputs.
+func (p *Pipeline) MinimizeTargetSize(orig, target *ir.Program, wantLabel int, verifyInputs [][]int64) (*MinimizeResult, error) {
+	cfg, err := ir.Disassemble(target)
+	if err != nil {
+		return nil, err
+	}
+	full := len(cfg.Blocks)
+	flips := func(k int) (bool, *ir.Program, *ir.Program, error) {
+		trunc, err := TruncateTarget(target, k)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		merged, err := Merge(orig, trunc)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		pred, err := p.classifyProgram(merged)
+		if err != nil {
+			return false, nil, nil, err
+		}
+		return pred == wantLabel, trunc, merged, nil
+	}
+	ok, trunc, merged, err := flips(full)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, ErrCannotMinimize
+	}
+	best := &MinimizeResult{Blocks: full, FullBlocks: full, Target: trunc, Merged: merged}
+	// Exponential probe for a flipping prefix.
+	lo, hi := 0, full // lo: known non-flipping (0 = empty), hi: known flipping
+	for k := 1; k < full; k *= 2 {
+		ok, trunc, merged, err := flips(k)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = k
+			best = &MinimizeResult{Blocks: k, FullBlocks: full, Target: trunc, Merged: merged}
+			break
+		}
+		lo = k
+	}
+	// Binary search between lo and hi.
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		ok, trunc, merged, err := flips(mid)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			hi = mid
+			best = &MinimizeResult{Blocks: mid, FullBlocks: full, Target: trunc, Merged: merged}
+		} else {
+			lo = mid
+		}
+	}
+	if verifyInputs != nil {
+		if err := VerifyEquivalent(orig, best.Merged, verifyInputs); err != nil {
+			return nil, err
+		}
+	}
+	return best, nil
+}
+
+// classifyProgram runs the pipeline's feature extraction + detector on a
+// program.
+func (p *Pipeline) classifyProgram(prog *ir.Program) (int, error) {
+	cfg, err := ir.Disassemble(prog)
+	if err != nil {
+		return 0, err
+	}
+	raw := features.Extract(cfg.G())
+	scaled, err := p.Scaler.Transform(raw)
+	if err != nil {
+		return 0, err
+	}
+	return p.Net.Predict(scaled), nil
+}

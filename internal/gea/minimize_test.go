@@ -1,0 +1,161 @@
+package gea
+
+import (
+	"errors"
+	"testing"
+
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+	"advmal/internal/synth"
+)
+
+func TestTruncateTargetFullKeepsProgram(t *testing.T) {
+	target := FigureOriginal()
+	got, err := TruncateTarget(target, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Code) != len(target.Code) {
+		t.Errorf("over-sized truncation changed the program")
+	}
+	// Must be a copy, not the same object.
+	got.Code[0].B = 99
+	if target.Code[0].B == 99 {
+		t.Error("TruncateTarget aliases the input")
+	}
+}
+
+func TestTruncateTargetPrefixValidates(t *testing.T) {
+	samples, err := synth.Generate(synth.Config{Seed: 23, NumBenign: 3, NumMal: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := &ir.Interp{}
+	for _, s := range samples {
+		cfg, err := ir.Disassemble(s.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{1, 2, cfg.G().N() / 2, cfg.G().N()} {
+			if k < 1 {
+				continue
+			}
+			trunc, err := TruncateTarget(s.Prog, k)
+			if err != nil {
+				t.Fatalf("TruncateTarget(%s, %d): %v", s.Name, k, err)
+			}
+			if err := trunc.Validate(); err != nil {
+				t.Fatalf("truncated %s at %d does not validate: %v", s.Name, k, err)
+			}
+			tcfg, err := ir.Disassemble(trunc)
+			if err != nil {
+				t.Fatalf("disassembling truncated %s: %v", s.Name, err)
+			}
+			if tcfg.G().N() > cfg.G().N()+1 {
+				t.Errorf("truncation grew the CFG: %d -> %d", cfg.G().N(), tcfg.G().N())
+			}
+			// The truncated target is embedded dead, but it must still
+			// be a halting program on its own for hygiene.
+			if _, err := it.Run(trunc); err != nil {
+				// A truncated loop body may legitimately spin if its
+				// exit condition was cut; only a step-budget error is
+				// acceptable.
+				if !errors.Is(err, ir.ErrStepBudget) {
+					t.Fatalf("running truncated %s: %v", s.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestTruncateTargetBadK(t *testing.T) {
+	if _, err := TruncateTarget(FigureOriginal(), 0); err == nil {
+		t.Error("TruncateTarget accepted k=0")
+	}
+}
+
+func TestMinimizeTargetSize(t *testing.T) {
+	p, samples := testPipeline(t)
+	// Victim: a malware sample the detector classifies as malware.
+	var victim *synth.Sample
+	for _, s := range samples {
+		if !s.Malicious {
+			continue
+		}
+		pred, err := p.classifyProgram(s.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred == nn.ClassMalware {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no correctly classified malware in the tiny corpus")
+	}
+	targets, err := SelectBySize(samples, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MinimizeTargetSize(victim.Prog, targets.Maximum.Prog,
+		nn.ClassBenign, synth.ProbeInputs())
+	if errors.Is(err, ErrCannotMinimize) {
+		t.Skip("max benign target does not flip this reduced detector")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks > res.FullBlocks {
+		t.Errorf("kept %d of %d blocks", res.Blocks, res.FullBlocks)
+	}
+	if res.Blocks == res.FullBlocks {
+		t.Logf("no reduction possible (kept all %d blocks)", res.FullBlocks)
+	} else {
+		t.Logf("reduced target from %d to %d blocks", res.FullBlocks, res.Blocks)
+	}
+	// The minimized merge still flips the classifier...
+	pred, err := p.classifyProgram(res.Merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred != nn.ClassBenign {
+		t.Error("minimized merge no longer flips the classifier")
+	}
+	// ...and still preserves functionality.
+	if err := VerifyEquivalent(victim.Prog, res.Merged, synth.ProbeInputs()); err != nil {
+		t.Errorf("minimized merge broke functionality: %v", err)
+	}
+}
+
+func TestMinimizeTargetSizeCannotFlip(t *testing.T) {
+	p, samples := testPipeline(t)
+	// Merging a malware sample with the *minimum* benign target (a couple
+	// of blocks) should usually not flip a confident detector; but to be
+	// deterministic, ask for the impossible: flip a benign original to
+	// benign... i.e. wantLabel equal to its current prediction is always
+	// "flipped", so instead use a tiny target against a confidently
+	// classified original and accept either outcome, asserting only
+	// error semantics.
+	var victim *synth.Sample
+	for _, s := range samples {
+		if s.Malicious {
+			victim = s
+			break
+		}
+	}
+	targets, err := SelectBySize(samples, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.MinimizeTargetSize(victim.Prog, targets.Minimum.Prog, nn.ClassBenign, nil)
+	if err != nil {
+		if !errors.Is(err, ErrCannotMinimize) {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		return // fine: tiny target cannot flip
+	}
+	if res.Blocks < 1 {
+		t.Errorf("kept %d blocks", res.Blocks)
+	}
+}

@@ -1,0 +1,120 @@
+package gea
+
+import (
+	"errors"
+	"testing"
+
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+	"advmal/internal/synth"
+)
+
+func TestAddNodesEdgesExactDeltas(t *testing.T) {
+	orig := FigureOriginal()
+	base, err := ir.Disassemble(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct{ dn, de int }{
+		{1, 0}, {1, 1}, {3, 0}, {3, 3}, {4, 7}, {5, 5}, {10, 15},
+	}
+	for _, tc := range tests {
+		grown, err := AddNodesEdges(orig, tc.dn, tc.de)
+		if err != nil {
+			t.Fatalf("AddNodesEdges(+%d,+%d): %v", tc.dn, tc.de, err)
+		}
+		cfg, err := ir.Disassemble(grown)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := cfg.G().N() - base.G().N(); got != tc.dn {
+			t.Errorf("+%d/+%d: node delta = %d", tc.dn, tc.de, got)
+		}
+		if got := cfg.G().M() - base.G().M(); got != tc.de {
+			t.Errorf("+%d/+%d: edge delta = %d", tc.dn, tc.de, got)
+		}
+	}
+}
+
+func TestAddNodesEdgesPreservesBehaviour(t *testing.T) {
+	samples, err := synth.Generate(synth.Config{Seed: 41, NumBenign: 3, NumMal: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		grown, err := AddNodesEdges(s.Prog, 6, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if err := VerifyEquivalent(s.Prog, grown, synth.ProbeInputs()); err != nil {
+			t.Fatalf("%s: realization broke behaviour: %v", s.Name, err)
+		}
+	}
+}
+
+func TestAddNodesEdgesRejectsImpossible(t *testing.T) {
+	orig := FigureOriginal()
+	tests := []struct{ dn, de int }{
+		{0, 0}, {-1, 0}, {1, -1}, {1, 3}, {2, 5},
+	}
+	for _, tc := range tests {
+		if _, err := AddNodesEdges(orig, tc.dn, tc.de); !errors.Is(err, ErrNotRealizable) {
+			t.Errorf("AddNodesEdges(+%d,+%d) = %v, want ErrNotRealizable", tc.dn, tc.de, err)
+		}
+	}
+	if _, err := AddNodesEdges(&ir.Program{}, 1, 1); err == nil {
+		t.Error("accepted invalid program")
+	}
+}
+
+func TestAddNodesEdgesFullConditionalLoad(t *testing.T) {
+	// deltaEdges == 2*deltaNodes needs a trailing block and must be
+	// rejected rather than silently over-shooting.
+	if _, err := AddNodesEdges(FigureOriginal(), 2, 4); !errors.Is(err, ErrNotRealizable) {
+		t.Errorf("err = %v, want ErrNotRealizable", err)
+	}
+}
+
+func TestRealizeJSMA(t *testing.T) {
+	p, samples := testPipeline(t)
+	tried, realized, flipped := 0, 0, 0
+	for _, s := range samples {
+		if !s.Malicious {
+			continue
+		}
+		pred, err := p.classifyProgram(s.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != nn.ClassMalware {
+			continue
+		}
+		res, err := p.RealizeJSMA(s.Prog, nn.ClassMalware, synth.ProbeInputs())
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		tried++
+		if res.Realized {
+			realized++
+			if res.RealizedFlipped {
+				flipped++
+			}
+			if res.Program == nil {
+				t.Fatalf("%s: realized without a program", s.Name)
+			}
+		}
+		if tried == 12 {
+			break
+		}
+	}
+	if tried == 0 {
+		t.Skip("no correctly classified malware")
+	}
+	t.Logf("JSMA realization: %d tried, %d realized in graph space, %d flipped after realization",
+		tried, realized, flipped)
+	// JSMA changes few features; whenever it grows nodes/edges we must
+	// be able to realize it.
+	if realized == 0 {
+		t.Log("JSMA never requested a node increase on these samples (all perturbations were decreases)")
+	}
+}

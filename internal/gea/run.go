@@ -1,0 +1,212 @@
+package gea
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"advmal/internal/features"
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+	"advmal/internal/synth"
+)
+
+// Pipeline crafts GEA adversarial samples against a trained detector:
+// merge -> disassemble -> extract features -> scale -> classify. It owns
+// no state beyond references to the trained model and scaler and is safe
+// for use from a single goroutine (it clones the network internally for
+// its own worker fan-out).
+type Pipeline struct {
+	Net    *nn.Network
+	Scaler *features.Scaler
+	// Workers is the per-target crafting parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Verify enables the interpreter-trace equivalence check on every
+	// crafted sample (the functionality-preservation property).
+	Verify bool
+	// VerifyInputs are the probe inputs used when Verify is set; nil
+	// selects synth.ProbeInputs.
+	VerifyInputs [][]int64
+}
+
+// Row is one row of Tables IV-VII: one target graph evaluated against
+// every original sample of the opposite class.
+type Row struct {
+	Label       SizeLabel     `json:"label,omitempty"`
+	TargetName  string        `json:"target"`
+	TargetNodes int           `json:"nodes"`
+	TargetEdges int           `json:"edges"`
+	Total       int           `json:"total"`
+	Misclass    int           `json:"misclassified"`
+	MR          float64       `json:"mr"`
+	AvgCT       time.Duration `json:"avg_ct"`
+	Verified    int           `json:"verified"` // functionality-preserving count
+}
+
+// String renders the row like the paper's GEA tables.
+func (r Row) String() string {
+	label := string(r.Label)
+	if label == "" {
+		label = r.TargetName
+	}
+	return fmt.Sprintf("%-8s nodes=%4d edges=%4d MR=%6.2f%% CT=%9.3fms (n=%d, verified=%d)",
+		label, r.TargetNodes, r.TargetEdges, r.MR*100,
+		float64(r.AvgCT.Microseconds())/1000, r.Total, r.Verified)
+}
+
+// RunTarget crafts one GEA adversarial sample per original and measures
+// how many flip to the class opposite their true one. origs must all
+// share a true class; wantLabel is that class's opposite (the adversary's
+// goal). Crafting time covers the full pipeline per sample: merge,
+// disassembly, feature extraction, scaling, and classification, which is
+// why CT grows with target size as in the paper.
+func (p *Pipeline) RunTarget(origs []*synth.Sample, target *synth.Sample, wantLabel int) (Row, error) {
+	row := Row{
+		TargetName:  target.Name,
+		TargetNodes: target.Nodes,
+		TargetEdges: target.Edges,
+		Total:       len(origs),
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	verifyInputs := p.VerifyInputs
+	if p.Verify && verifyInputs == nil {
+		verifyInputs = synth.ProbeInputs()
+	}
+	type outcome struct {
+		mis      bool
+		verified bool
+		ct       time.Duration
+		err      error
+	}
+	outs := make([]outcome, len(origs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clone := p.Net.CloneShared()
+			for i := w; i < len(origs); i += workers {
+				outs[i] = p.craftOne(clone, origs[i], target, wantLabel, verifyInputs)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var ctSum int64
+	for i, o := range outs {
+		if o.err != nil {
+			return row, fmt.Errorf("gea: sample %q vs target %q: %w",
+				origs[i].Name, target.Name, o.err)
+		}
+		if o.mis {
+			row.Misclass++
+		}
+		if o.verified {
+			row.Verified++
+		}
+		ctSum += int64(o.ct)
+	}
+	if row.Total > 0 {
+		row.MR = float64(row.Misclass) / float64(row.Total)
+		row.AvgCT = time.Duration(ctSum / int64(row.Total))
+	}
+	return row, nil
+}
+
+func (p *Pipeline) craftOne(net *nn.Network, orig, target *synth.Sample, wantLabel int, verifyInputs [][]int64) (o struct {
+	mis      bool
+	verified bool
+	ct       time.Duration
+	err      error
+}) {
+	t0 := time.Now()
+	merged, err := Merge(orig.Prog, target.Prog)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	cfg, err := ir.Disassemble(merged)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	raw := features.Extract(cfg.G())
+	scaled, err := p.Scaler.Transform(raw)
+	if err != nil {
+		o.err = err
+		return o
+	}
+	pred := net.Predict(scaled)
+	o.ct = time.Since(t0)
+	o.mis = pred == wantLabel
+	if verifyInputs != nil {
+		if err := VerifyEquivalent(orig.Prog, merged, verifyInputs); err != nil {
+			o.err = err
+			return o
+		}
+		o.verified = true
+	}
+	return o
+}
+
+// RunSizeExperiment reproduces Table IV (malware->benign when
+// targetMalicious is false) or Table V (benign->malware when true): the
+// minimum-, median-, and maximum-size target of the target class is
+// merged with every original of the opposite class.
+func (p *Pipeline) RunSizeExperiment(origs, targetPool []*synth.Sample, targetMalicious bool) ([]Row, error) {
+	targets, err := SelectBySize(targetPool, targetMalicious)
+	if err != nil {
+		return nil, err
+	}
+	wantLabel := nn.ClassBenign
+	if targetMalicious {
+		wantLabel = nn.ClassMalware
+	}
+	origSet := filter(origs, !targetMalicious)
+	if len(origSet) == 0 {
+		return nil, ErrNoSamples
+	}
+	rows := make([]Row, 0, 3)
+	for _, t := range targets.Rows() {
+		row, err := p.RunTarget(origSet, t.Sample, wantLabel)
+		if err != nil {
+			return nil, err
+		}
+		row.Label = t.Label
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunFixedNodesExperiment reproduces Table VI (targetMalicious=false,
+// malware->benign) or Table VII (targetMalicious=true): for each of
+// numGroups node counts, perGroup targets with distinct edge counts are
+// merged with every original of the opposite class.
+func (p *Pipeline) RunFixedNodesExperiment(origs, targetPool []*synth.Sample, targetMalicious bool, numGroups, perGroup int) ([]Row, error) {
+	groups, err := SelectFixedNodes(targetPool, targetMalicious, numGroups, perGroup)
+	if err != nil {
+		return nil, err
+	}
+	wantLabel := nn.ClassBenign
+	if targetMalicious {
+		wantLabel = nn.ClassMalware
+	}
+	origSet := filter(origs, !targetMalicious)
+	if len(origSet) == 0 {
+		return nil, ErrNoSamples
+	}
+	var rows []Row
+	for _, g := range groups {
+		for _, t := range g.Samples {
+			row, err := p.RunTarget(origSet, t, wantLabel)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,136 @@
+package gea
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"advmal/internal/synth"
+)
+
+// Selection errors.
+var (
+	// ErrNoSamples indicates an empty candidate pool.
+	ErrNoSamples = errors.New("gea: no candidate samples")
+	// ErrNoFixedNodeGroups indicates no node count had enough distinct
+	// edge counts.
+	ErrNoFixedNodeGroups = errors.New("gea: no fixed-node groups found")
+)
+
+// SizeLabel names a row of Tables IV and V.
+type SizeLabel string
+
+// Size labels, matching the paper's rows.
+const (
+	SizeMinimum SizeLabel = "Minimum"
+	SizeMedian  SizeLabel = "Median"
+	SizeMaximum SizeLabel = "Maximum"
+)
+
+// SizeTargets holds the three target samples of Tables IV/V: the
+// minimum-, median-, and maximum-order CFG of the selected class.
+type SizeTargets struct {
+	Minimum *synth.Sample
+	Median  *synth.Sample
+	Maximum *synth.Sample
+}
+
+// Rows returns the targets in paper order with their labels.
+func (t SizeTargets) Rows() []struct {
+	Label  SizeLabel
+	Sample *synth.Sample
+} {
+	return []struct {
+		Label  SizeLabel
+		Sample *synth.Sample
+	}{
+		{SizeMinimum, t.Minimum},
+		{SizeMedian, t.Median},
+		{SizeMaximum, t.Maximum},
+	}
+}
+
+// SelectBySize picks the minimum, median, and maximum graph-size samples
+// (size = number of CFG nodes, as in the paper) from the candidates with
+// the given maliciousness.
+func SelectBySize(samples []*synth.Sample, malicious bool) (SizeTargets, error) {
+	pool := filter(samples, malicious)
+	if len(pool) == 0 {
+		return SizeTargets{}, ErrNoSamples
+	}
+	sort.SliceStable(pool, func(i, j int) bool { return pool[i].Nodes < pool[j].Nodes })
+	return SizeTargets{
+		Minimum: pool[0],
+		Median:  pool[len(pool)/2],
+		Maximum: pool[len(pool)-1],
+	}, nil
+}
+
+// FixedNodeGroup is one block of Tables VI/VII: samples sharing a node
+// count but differing in edge count.
+type FixedNodeGroup struct {
+	Nodes   int
+	Samples []*synth.Sample // sorted by edge count, distinct edge counts
+}
+
+// SelectFixedNodes builds the Tables VI/VII target sets: groups of
+// perGroup samples that share a CFG node count but have pairwise distinct
+// edge counts. Up to numGroups groups are returned, spread across the
+// node-count range (small, middle, large), sorted by node count.
+func SelectFixedNodes(samples []*synth.Sample, malicious bool, numGroups, perGroup int) ([]FixedNodeGroup, error) {
+	if numGroups <= 0 || perGroup <= 0 {
+		return nil, fmt.Errorf("gea: invalid group shape %dx%d", numGroups, perGroup)
+	}
+	pool := filter(samples, malicious)
+	byNodes := make(map[int]map[int]*synth.Sample) // nodes -> edges -> sample
+	for _, s := range pool {
+		m, ok := byNodes[s.Nodes]
+		if !ok {
+			m = make(map[int]*synth.Sample)
+			byNodes[s.Nodes] = m
+		}
+		if _, dup := m[s.Edges]; !dup {
+			m[s.Edges] = s
+		}
+	}
+	var candidates []FixedNodeGroup
+	for nodes, m := range byNodes {
+		if len(m) < perGroup {
+			continue
+		}
+		edges := make([]int, 0, len(m))
+		for e := range m {
+			edges = append(edges, e)
+		}
+		sort.Ints(edges)
+		// Spread the chosen edge counts across the observed range.
+		chosen := make([]*synth.Sample, perGroup)
+		for k := 0; k < perGroup; k++ {
+			chosen[k] = m[edges[k*(len(edges)-1)/max(perGroup-1, 1)]]
+		}
+		candidates = append(candidates, FixedNodeGroup{Nodes: nodes, Samples: chosen})
+	}
+	if len(candidates) == 0 {
+		return nil, ErrNoFixedNodeGroups
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Nodes < candidates[j].Nodes })
+	if len(candidates) <= numGroups {
+		return candidates, nil
+	}
+	// Spread groups across the node-count range.
+	out := make([]FixedNodeGroup, numGroups)
+	for k := 0; k < numGroups; k++ {
+		out[k] = candidates[k*(len(candidates)-1)/max(numGroups-1, 1)]
+	}
+	return out, nil
+}
+
+func filter(samples []*synth.Sample, malicious bool) []*synth.Sample {
+	var out []*synth.Sample
+	for _, s := range samples {
+		if s.Malicious == malicious {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package gea
+
+import (
+	"errors"
+	"testing"
+
+	"advmal/internal/synth"
+)
+
+func fakeSample(id, nodes, edges int, malicious bool) *synth.Sample {
+	return &synth.Sample{ID: id, Nodes: nodes, Edges: edges, Malicious: malicious}
+}
+
+func TestSelectBySize(t *testing.T) {
+	samples := []*synth.Sample{
+		fakeSample(0, 10, 12, false),
+		fakeSample(1, 2, 1, false),
+		fakeSample(2, 455, 600, false),
+		fakeSample(3, 24, 30, false),
+		fakeSample(4, 100, 150, false),
+		fakeSample(5, 999, 1, true), // wrong class, must be ignored
+	}
+	targets, err := SelectBySize(samples, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets.Minimum.Nodes != 2 {
+		t.Errorf("minimum = %d nodes, want 2", targets.Minimum.Nodes)
+	}
+	if targets.Maximum.Nodes != 455 {
+		t.Errorf("maximum = %d nodes, want 455", targets.Maximum.Nodes)
+	}
+	if targets.Median.Nodes != 24 {
+		t.Errorf("median = %d nodes, want 24", targets.Median.Nodes)
+	}
+	rows := targets.Rows()
+	if len(rows) != 3 || rows[0].Label != SizeMinimum || rows[2].Label != SizeMaximum {
+		t.Errorf("Rows() = %+v", rows)
+	}
+}
+
+func TestSelectBySizeEmpty(t *testing.T) {
+	if _, err := SelectBySize(nil, false); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("SelectBySize(nil) = %v, want ErrNoSamples", err)
+	}
+	only := []*synth.Sample{fakeSample(0, 5, 5, true)}
+	if _, err := SelectBySize(only, false); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("wrong-class pool = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestSelectFixedNodes(t *testing.T) {
+	var samples []*synth.Sample
+	id := 0
+	// Three node counts with 4 distinct edge counts each, plus noise.
+	for _, nodes := range []int{8, 33, 63} {
+		for e := 0; e < 4; e++ {
+			samples = append(samples, fakeSample(id, nodes, nodes+e*3, true))
+			id++
+		}
+	}
+	samples = append(samples, fakeSample(id, 100, 120, true)) // only one edge count
+	groups, err := SelectFixedNodes(samples, true, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	wantNodes := []int{8, 33, 63}
+	for gi, g := range groups {
+		if g.Nodes != wantNodes[gi] {
+			t.Errorf("group %d nodes = %d, want %d", gi, g.Nodes, wantNodes[gi])
+		}
+		if len(g.Samples) != 3 {
+			t.Fatalf("group %d has %d samples, want 3", gi, len(g.Samples))
+		}
+		seen := map[int]bool{}
+		prev := -1
+		for _, s := range g.Samples {
+			if s.Nodes != g.Nodes {
+				t.Errorf("group %d sample has %d nodes", gi, s.Nodes)
+			}
+			if seen[s.Edges] {
+				t.Errorf("group %d duplicate edge count %d", gi, s.Edges)
+			}
+			seen[s.Edges] = true
+			if s.Edges <= prev {
+				t.Errorf("group %d edges not ascending", gi)
+			}
+			prev = s.Edges
+		}
+	}
+}
+
+func TestSelectFixedNodesErrors(t *testing.T) {
+	if _, err := SelectFixedNodes(nil, true, 0, 3); err == nil {
+		t.Error("accepted zero groups")
+	}
+	// All samples share one edge count per node count: no group possible.
+	samples := []*synth.Sample{
+		fakeSample(0, 5, 6, true), fakeSample(1, 7, 8, true),
+	}
+	if _, err := SelectFixedNodes(samples, true, 3, 3); !errors.Is(err, ErrNoFixedNodeGroups) {
+		t.Errorf("SelectFixedNodes = %v, want ErrNoFixedNodeGroups", err)
+	}
+}
+
+func TestSelectFixedNodesSpreadsGroups(t *testing.T) {
+	var samples []*synth.Sample
+	id := 0
+	for nodes := 5; nodes <= 50; nodes += 5 { // 10 candidate groups
+		for e := 0; e < 3; e++ {
+			samples = append(samples, fakeSample(id, nodes, nodes+e, true))
+			id++
+		}
+	}
+	groups, err := SelectFixedNodes(samples, true, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	if groups[0].Nodes != 5 || groups[2].Nodes != 50 {
+		t.Errorf("groups not spread across range: %d..%d", groups[0].Nodes, groups[2].Nodes)
+	}
+	if groups[1].Nodes <= groups[0].Nodes || groups[1].Nodes >= groups[2].Nodes {
+		t.Errorf("middle group %d not between extremes", groups[1].Nodes)
+	}
+}
+
+func TestSelectFixedNodesOnRealCorpus(t *testing.T) {
+	samples, err := synth.Generate(synth.Config{Seed: 5, NumBenign: 60, NumMal: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := SelectFixedNodes(samples, true, 3, 3)
+	if err != nil {
+		t.Fatalf("real corpus has no fixed-node groups: %v", err)
+	}
+	if len(groups) != 3 {
+		t.Errorf("groups = %d, want 3 (Tables VI/VII shape)", len(groups))
+	}
+}

@@ -1,0 +1,196 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEigenvectorCentralityCycle(t *testing.T) {
+	// On a cycle every node is equally central: 1/sqrt(n) each.
+	n := 6
+	g := cycle(t, n)
+	c := g.EigenvectorCentrality(0)
+	want := 1 / math.Sqrt(float64(n))
+	for i, x := range c {
+		if math.Abs(x-want) > 1e-6 {
+			t.Errorf("eigen[%d] = %v, want %v", i, x, want)
+		}
+	}
+}
+
+func TestEigenvectorCentralityHub(t *testing.T) {
+	// Everyone points at node 0; node 0 must dominate.
+	b := NewBuilder(5)
+	for i := 1; i < 5; i++ {
+		mustEdge(t, b, i, 0)
+		mustEdge(t, b, 0, i) // back edges keep the iteration alive
+	}
+	c := b.Build().EigenvectorCentrality(0)
+	for i := 1; i < 5; i++ {
+		if c[0] <= c[i] {
+			t.Errorf("hub centrality %v not above leaf %v", c[0], c[i])
+		}
+	}
+}
+
+func TestEigenvectorCentralityEmpty(t *testing.T) {
+	if c := NewBuilder(0).Build().EigenvectorCentrality(0); c != nil {
+		t.Errorf("empty graph eigenvector = %v, want nil", c)
+	}
+}
+
+func TestSCCsLinearChain(t *testing.T) {
+	g := path(t, 4)
+	comps := g.SCCs()
+	if len(comps) != 4 {
+		t.Fatalf("chain SCCs = %d, want 4 singletons", len(comps))
+	}
+	// Reverse topological order: sinks first.
+	if comps[0][0] != 3 {
+		t.Errorf("first SCC = %v, want the sink", comps[0])
+	}
+}
+
+func TestSCCsCycleAndTail(t *testing.T) {
+	// 0->1->2->0 cycle, plus 2->3 tail.
+	b := NewBuilder(4)
+	mustEdge(t, b, 0, 1)
+	mustEdge(t, b, 1, 2)
+	mustEdge(t, b, 2, 0)
+	mustEdge(t, b, 2, 3)
+	comps := b.Build().SCCs()
+	if len(comps) != 2 {
+		t.Fatalf("SCCs = %v, want 2 components", comps)
+	}
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 3 {
+		t.Errorf("SCC sizes = %v, want [1 3]", sizes)
+	}
+}
+
+func TestSCCsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomDirected(rng, 3+rng.Intn(25), 0.15)
+		comps := g.SCCs()
+		seen := make([]int, g.N())
+		for _, c := range comps {
+			for _, v := range c {
+				seen[v]++
+			}
+		}
+		for v, cnt := range seen {
+			if cnt != 1 {
+				t.Fatalf("node %d appears in %d SCCs", v, cnt)
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	if d := path(t, 5).Diameter(); d != 4 {
+		t.Errorf("path diameter = %d, want 4", d)
+	}
+	if d := cycle(t, 5).Diameter(); d != 4 {
+		t.Errorf("cycle diameter = %d, want 4", d)
+	}
+	if d := NewBuilder(3).Build().Diameter(); d != 0 {
+		t.Errorf("edgeless diameter = %d, want 0", d)
+	}
+}
+
+func TestDominatorsDiamond(t *testing.T) {
+	// 0 -> {1,2} -> 3: the join is dominated by the entry, not by
+	// either branch arm.
+	b := NewBuilder(4)
+	mustEdge(t, b, 0, 1)
+	mustEdge(t, b, 0, 2)
+	mustEdge(t, b, 1, 3)
+	mustEdge(t, b, 2, 3)
+	idom := b.Build().Dominators(0)
+	want := []int{0, 0, 0, 0}
+	for i := range want {
+		if idom[i] != want[i] {
+			t.Errorf("idom[%d] = %d, want %d", i, idom[i], want[i])
+		}
+	}
+}
+
+func TestDominatorsChain(t *testing.T) {
+	idom := path(t, 4).Dominators(0)
+	want := []int{0, 0, 1, 2}
+	for i := range want {
+		if idom[i] != want[i] {
+			t.Errorf("idom[%d] = %d, want %d", i, idom[i], want[i])
+		}
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	b := NewBuilder(3)
+	mustEdge(t, b, 0, 1)
+	// Node 2 unreachable.
+	idom := b.Build().Dominators(0)
+	if idom[2] != -1 {
+		t.Errorf("unreachable idom = %d, want -1", idom[2])
+	}
+	// Bad entry yields all -1.
+	for _, d := range b.Build().Dominators(99) {
+		if d != -1 {
+			t.Error("bad entry should mark everything unreachable")
+		}
+	}
+}
+
+func TestBackEdgesLoop(t *testing.T) {
+	// 0 -> 1 -> 2 -> 1 (loop), 2 -> 3.
+	b := NewBuilder(4)
+	mustEdge(t, b, 0, 1)
+	mustEdge(t, b, 1, 2)
+	mustEdge(t, b, 2, 1)
+	mustEdge(t, b, 2, 3)
+	back := b.Build().BackEdges(0)
+	if len(back) != 1 || back[0] != [2]int{2, 1} {
+		t.Errorf("back edges = %v, want [[2 1]]", back)
+	}
+}
+
+func TestBackEdgesSelfLoop(t *testing.T) {
+	b := NewBuilder(2).AllowSelfLoops()
+	mustEdge(t, b, 0, 1)
+	mustEdge(t, b, 1, 1)
+	back := b.Build().BackEdges(0)
+	if len(back) != 1 || back[0] != [2]int{1, 1} {
+		t.Errorf("self-loop back edges = %v", back)
+	}
+}
+
+func TestBackEdgesAcyclic(t *testing.T) {
+	if back := path(t, 5).BackEdges(0); len(back) != 0 {
+		t.Errorf("acyclic graph has back edges: %v", back)
+	}
+}
+
+// TestLoopinessSeparatesClasses: random flow graphs with more probability
+// mass get more loops — sanity for using back-edge counts as a
+// malware signal in the corpus generator.
+func TestBackEdgesIncreaseWithDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	count := func(p float64) int {
+		total := 0
+		for i := 0; i < 10; i++ {
+			total += len(RandomFlow(rng, 30, p).BackEdges(0))
+		}
+		return total
+	}
+	sparse, dense := count(0.005), count(0.08)
+	if dense <= sparse {
+		t.Errorf("back edges sparse=%d dense=%d, want dense > sparse", sparse, dense)
+	}
+}

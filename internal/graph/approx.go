@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// BetweennessSample estimates betweenness centrality from k sampled
+// source pivots (Brandes–Pich style): exact Brandes accumulation from a
+// uniform sample of sources, scaled by n/k. For k >= n it falls back to
+// the exact algorithm. Useful when feature extraction must scale past
+// the corpus's largest CFGs; the trade-off is quantified by
+// BenchmarkAblation_Betweenness.
+func (g *Graph) BetweennessSample(rng *rand.Rand, k int) []float64 {
+	n := g.N()
+	if k >= n || n < 3 {
+		return g.BetweennessCentrality()
+	}
+	bc := make([]float64, n)
+	var (
+		dist  = make([]int, n)
+		sigma = make([]float64, n)
+		delta = make([]float64, n)
+		preds = make([][]int32, n)
+		order = make([]int32, 0, n)
+	)
+	for _, s := range rng.Perm(n)[:k] {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order, int32(s))
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.out[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, u := range preds[w] {
+				delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+			}
+			if int(w) != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	scale := float64(n) / float64(k) / (float64(n-1) * float64(n-2))
+	for i := range bc {
+		bc[i] *= scale
+	}
+	return bc
+}

@@ -1,0 +1,60 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBetweennessSampleFullIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomFlow(rng, 25, 0.08)
+	exact := g.BetweennessCentrality()
+	sampled := g.BetweennessSample(rand.New(rand.NewSource(1)), g.N())
+	for i := range exact {
+		if math.Abs(exact[i]-sampled[i]) > 1e-12 {
+			t.Fatalf("k=n sample differs from exact at %d: %v vs %v", i, sampled[i], exact[i])
+		}
+	}
+}
+
+func TestBetweennessSampleApproximates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := RandomFlow(rng, 120, 0.02)
+	exact := g.BetweennessCentrality()
+	approx := g.BetweennessSample(rand.New(rand.NewSource(2)), 60)
+	// The estimate is unbiased; with half the pivots the top-ranked
+	// node should agree or be close. Check rank correlation loosely:
+	// the exact-top node must be within the approx top 10%.
+	top := 0
+	for i, v := range exact {
+		if v > exact[top] {
+			top = i
+		}
+	}
+	better := 0
+	for _, v := range approx {
+		if v > approx[top] {
+			better++
+		}
+	}
+	if better > g.N()/10 {
+		t.Errorf("exact top node ranked %d by the approximation", better)
+	}
+	// Mean absolute error bounded well below the value scale.
+	var mae, scale float64
+	for i := range exact {
+		mae += math.Abs(exact[i] - approx[i])
+		scale += exact[i]
+	}
+	if scale > 0 && mae/scale > 0.5 {
+		t.Errorf("relative MAE %v too large", mae/scale)
+	}
+}
+
+func TestBetweennessSampleTinyGraph(t *testing.T) {
+	g := path(t, 2)
+	if got := g.BetweennessSample(rand.New(rand.NewSource(1)), 1); len(got) != 2 {
+		t.Errorf("tiny graph sample = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package graph
+
+// DegreeCentrality returns the normalized degree centrality of every node:
+// (in-degree + out-degree) / (n - 1), the standard definition for directed
+// graphs. For n < 2 all centralities are 0.
+func (g *Graph) DegreeCentrality() []float64 {
+	n := g.N()
+	c := make([]float64, n)
+	if n < 2 {
+		return c
+	}
+	norm := 1 / float64(n-1)
+	for u := 0; u < n; u++ {
+		c[u] = float64(g.InDegree(u)+g.OutDegree(u)) * norm
+	}
+	return c
+}
+
+// ClosenessCentrality returns the incoming-distance closeness centrality of
+// every node with the Wasserman–Faust scaling used by standard graph
+// toolkits: for node v, with R the set of nodes that can reach v,
+//
+//	C(v) = (|R| / sum_{u in R} d(u,v)) * (|R| / (n-1))
+//
+// Nodes that no other node can reach get centrality 0.
+func (g *Graph) ClosenessCentrality() []float64 {
+	n := g.N()
+	c := make([]float64, n)
+	if n < 2 {
+		return c
+	}
+	rev := g.Reverse()
+	for v := 0; v < n; v++ {
+		dist := rev.BFSFrom(v)
+		var sum, reach int
+		for u, d := range dist {
+			if u == v || d < 0 {
+				continue
+			}
+			sum += d
+			reach++
+		}
+		if sum > 0 {
+			c[v] = float64(reach) / float64(sum) * float64(reach) / float64(n-1)
+		}
+	}
+	return c
+}
+
+// BetweennessCentrality returns the shortest-path betweenness centrality of
+// every node, computed with Brandes' algorithm for unweighted directed
+// graphs, normalized by 1/((n-1)(n-2)). Endpoints are excluded, matching
+// the standard definition. For n < 3 all centralities are 0.
+func (g *Graph) BetweennessCentrality() []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+	if n < 3 {
+		return bc
+	}
+	// Reused per-source scratch space.
+	var (
+		dist  = make([]int, n)
+		sigma = make([]float64, n)
+		delta = make([]float64, n)
+		preds = make([][]int32, n)
+		order = make([]int32, 0, n)
+	)
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order, int32(s))
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.out[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i >= 0; i-- {
+			w := order[i]
+			for _, u := range preds[w] {
+				delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+			}
+			if int(w) != s {
+				bc[w] += delta[w]
+			}
+		}
+	}
+	norm := 1 / (float64(n-1) * float64(n-2))
+	for i := range bc {
+		bc[i] *= norm
+	}
+	return bc
+}
+
+// ShortestPathLengths returns the multiset of all finite pairwise
+// shortest-path lengths d(u,v) for u != v, in deterministic order
+// (ascending source, then BFS layer order). The paper's "shortest path"
+// feature group is the {min,max,median,mean,std} summary of this multiset.
+func (g *Graph) ShortestPathLengths() []float64 {
+	n := g.N()
+	var out []float64
+	for s := 0; s < n; s++ {
+		dist := g.BFSFrom(s)
+		for v, d := range dist {
+			if v == s || d <= 0 {
+				continue
+			}
+			out = append(out, float64(d))
+		}
+	}
+	return out
+}

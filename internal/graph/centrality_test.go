@@ -1,0 +1,255 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestDegreeCentralityPath(t *testing.T) {
+	g := path(t, 3) // 0->1->2
+	got := g.DegreeCentrality()
+	want := []float64{0.5, 1, 0.5} // (deg)/(n-1) with n-1 = 2
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Errorf("degree[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDegreeCentralityTiny(t *testing.T) {
+	if c := NewBuilder(1).Build().DegreeCentrality(); c[0] != 0 {
+		t.Errorf("single node degree centrality = %v, want 0", c[0])
+	}
+}
+
+func TestClosenessCentralityPath(t *testing.T) {
+	g := path(t, 3) // 0->1->2, incoming distances
+	got := g.ClosenessCentrality()
+	// Node 0: nothing reaches it -> 0.
+	// Node 1: reached by {0} at distance 1 -> (1/1)*(1/2) = 0.5.
+	// Node 2: reached by {0,1}, distances 2+1 -> (2/3)*(2/2) = 2/3.
+	want := []float64{0, 0.5, 2.0 / 3.0}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Errorf("closeness[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestClosenessCentralityCycle(t *testing.T) {
+	n := 5
+	g := cycle(t, n)
+	got := g.ClosenessCentrality()
+	// Every node is reached by all others with distance sum 1+2+3+4=10.
+	want := float64(n-1) / 10.0
+	for i := range got {
+		if !almostEqual(got[i], want) {
+			t.Errorf("closeness[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestBetweennessCentralityPath(t *testing.T) {
+	g := path(t, 3)
+	got := g.BetweennessCentrality()
+	// Only node 1 lies on the single shortest path 0->2; normalization
+	// is 1/((n-1)(n-2)) = 1/2.
+	want := []float64{0, 0.5, 0}
+	for i := range want {
+		if !almostEqual(got[i], want[i]) {
+			t.Errorf("betweenness[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBetweennessCentralityStar(t *testing.T) {
+	// Star with center 0: 0->i and i->0 for i=1..4. Every pair (i,j)
+	// routes through the center.
+	n := 5
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		mustEdge(t, b, 0, i)
+		mustEdge(t, b, i, 0)
+	}
+	g := b.Build()
+	got := g.BetweennessCentrality()
+	// Center: (n-1)(n-2) ordered pairs pass through -> normalized 1.
+	if !almostEqual(got[0], 1) {
+		t.Errorf("center betweenness = %v, want 1", got[0])
+	}
+	for i := 1; i < n; i++ {
+		if !almostEqual(got[i], 0) {
+			t.Errorf("leaf %d betweenness = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestBetweennessTinyGraphs(t *testing.T) {
+	for n := 0; n < 3; n++ {
+		g := path(t, n)
+		for i, bc := range g.BetweennessCentrality() {
+			if bc != 0 {
+				t.Errorf("n=%d betweenness[%d] = %v, want 0", n, i, bc)
+			}
+		}
+	}
+}
+
+// naiveBetweenness recomputes betweenness by explicit all-pairs
+// shortest-path enumeration (BFS + path counting), as an independent
+// reference for Brandes.
+func naiveBetweenness(g *Graph) []float64 {
+	n := g.N()
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		// BFS counting shortest paths from s.
+		dist := g.BFSFrom(s)
+		sigma := make([]float64, n)
+		sigma[s] = 1
+		order := make([]int, 0, n)
+		for d := 0; ; d++ {
+			found := false
+			for v := 0; v < n; v++ {
+				if dist[v] == d {
+					order = append(order, v)
+					found = true
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		for _, u := range order {
+			for _, v := range g.Out(u) {
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		for tgt := 0; tgt < n; tgt++ {
+			if tgt == s || dist[tgt] < 0 {
+				continue
+			}
+			// Count, for every intermediate w, the fraction of s->tgt
+			// shortest paths through w.
+			sigmaTo := make([]float64, n)
+			sigmaTo[tgt] = 1
+			for i := len(order) - 1; i >= 0; i-- {
+				u := order[i]
+				for _, v := range g.Out(u) {
+					if dist[v] == dist[u]+1 {
+						sigmaTo[u] += sigmaTo[v]
+					}
+				}
+			}
+			for w := 0; w < n; w++ {
+				if w == s || w == tgt || dist[w] < 0 {
+					continue
+				}
+				bc[w] += sigma[w] * sigmaTo[w] / sigma[tgt]
+			}
+		}
+	}
+	norm := 1 / (float64(n-1) * float64(n-2))
+	for i := range bc {
+		bc[i] *= norm
+	}
+	return bc
+}
+
+func TestBetweennessMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(12)
+		g := RandomDirected(rng, n, 0.25)
+		got := g.BetweennessCentrality()
+		want := naiveBetweenness(g)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d node %d: Brandes %v, naive %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShortestPathLengthsPath(t *testing.T) {
+	g := path(t, 4)
+	got := g.ShortestPathLengths()
+	sort.Float64s(got)
+	want := []float64{1, 1, 1, 2, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %d lengths, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lengths[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCentralityPropertiesRandom(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomFlow(rng, 3+rng.Intn(30), 0.1)
+		for _, c := range [][]float64{
+			g.BetweennessCentrality(),
+			g.ClosenessCentrality(),
+			g.DegreeCentrality(),
+		} {
+			for _, x := range c {
+				if x < -tol || math.IsNaN(x) || math.IsInf(x, 0) {
+					return false
+				}
+			}
+		}
+		for _, l := range g.ShortestPathLengths() {
+			if l < 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCentralityRelabelInvariance: the sorted centrality multiset must be
+// invariant under node relabelling — the property that makes the 23
+// features well-defined graph invariants.
+func TestCentralityRelabelInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g := RandomFlow(rng, 5+rng.Intn(20), 0.1)
+		perm := rng.Perm(g.N())
+		h, err := g.Relabel(perm)
+		if err != nil {
+			t.Fatalf("Relabel: %v", err)
+		}
+		checks := []struct {
+			name string
+			f    func(*Graph) []float64
+		}{
+			{"betweenness", (*Graph).BetweennessCentrality},
+			{"closeness", (*Graph).ClosenessCentrality},
+			{"degree", (*Graph).DegreeCentrality},
+		}
+		for _, c := range checks {
+			a, b := c.f(g), c.f(h)
+			sort.Float64s(a)
+			sort.Float64s(b)
+			for i := range a {
+				if math.Abs(a[i]-b[i]) > 1e-9 {
+					t.Fatalf("%s not relabel-invariant at rank %d: %v vs %v", c.name, i, a[i], b[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz DOT syntax. labels may be nil, in which
+// case nodes are labelled by index; otherwise labels[i] labels node i.
+// Used to regenerate the CFG figures (Figs. 2-4 of the paper).
+func (g *Graph) DOT(name string, labels []string) string {
+	var sb strings.Builder
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  node [shape=box fontname=\"monospace\"];\n")
+	for u := 0; u < g.N(); u++ {
+		label := fmt.Sprintf("b%d", u)
+		if labels != nil && u < len(labels) && labels[u] != "" {
+			label = labels[u]
+		}
+		// Labels may contain DOT escapes like \l, so only quotes are
+		// escaped rather than using %q.
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", u, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&sb, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

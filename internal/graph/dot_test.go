@@ -1,0 +1,31 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTBasic(t *testing.T) {
+	g := path(t, 2)
+	dot := g.DOT("demo", nil)
+	for _, want := range []string{`digraph "demo"`, "n0", "n1", "n0 -> n1;"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTLabelsAndEscaping(t *testing.T) {
+	g := path(t, 2)
+	dot := g.DOT("", []string{`say "hi"\l`, ""})
+	if !strings.Contains(dot, `say \"hi\"\l`) {
+		t.Errorf("DOT did not escape quotes while keeping DOT escapes:\n%s", dot)
+	}
+	if !strings.Contains(dot, `digraph "G"`) {
+		t.Errorf("empty name should default to G:\n%s", dot)
+	}
+	// Missing label falls back to the node index.
+	if !strings.Contains(dot, `n1 [label="b1"]`) {
+		t.Errorf("missing label fallback wrong:\n%s", dot)
+	}
+}

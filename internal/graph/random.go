@@ -1,0 +1,50 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// RandomDirected returns a G(n, p) directed random graph without self loops,
+// generated deterministically from rng. Used by tests and property checks.
+func RandomDirected(rng *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if rng.Float64() < p {
+				// Endpoints are in range and u != v by construction.
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomFlow returns a random CFG-shaped graph: node 0 is an entry from
+// which every node is reachable, node n-1 is an exit reachable from every
+// node, and extra forward/back edges are added with probability p. This
+// mimics the structure disassembled CFGs have and is used for property
+// tests and calibration.
+func RandomFlow(rng *rand.Rand, n int, p float64) *Graph {
+	if n < 1 {
+		return NewBuilder(0).Build()
+	}
+	b := NewBuilder(n).AllowSelfLoops()
+	// Spine guarantees entry->...->exit connectivity.
+	for u := 0; u+1 < n; u++ {
+		_ = b.AddEdge(u, u+1)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v || v == u+1 {
+				continue
+			}
+			if rng.Float64() < p {
+				_ = b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}

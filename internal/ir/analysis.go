@@ -1,0 +1,57 @@
+package ir
+
+// Analysis is a static report over a program's CFG: the reachability and
+// structure information §II-B of the paper describes CFGs being used for
+// (unreachable code, loop structure, exit structure).
+type Analysis struct {
+	// Blocks is the basic-block count (CFG order).
+	Blocks int
+	// UnreachableBlocks lists blocks no path from the entry reaches.
+	UnreachableBlocks []int
+	// ExitBlocks lists blocks ending in ret.
+	ExitBlocks []int
+	// NoExitPath lists reachable blocks from which no ret is reachable
+	// (necessarily-infinite execution once entered).
+	NoExitPath []int
+	// Loops is the number of natural-loop back edges.
+	Loops int
+	// SCCCount is the number of strongly connected components.
+	SCCCount int
+}
+
+// Analyze disassembles the program and computes the static Analysis.
+func Analyze(p *Program) (*Analysis, error) {
+	cfg, err := Disassemble(p)
+	if err != nil {
+		return nil, err
+	}
+	g := cfg.G()
+	a := &Analysis{
+		Blocks:     g.N(),
+		ExitBlocks: cfg.ExitBlocks(p),
+		Loops:      len(g.BackEdges(0)),
+		SCCCount:   len(g.SCCs()),
+	}
+	reach := g.ReachableFrom(0)
+	for v, ok := range reach {
+		if !ok {
+			a.UnreachableBlocks = append(a.UnreachableBlocks, v)
+		}
+	}
+	// Blocks that cannot reach any exit: reverse-reachability from exits.
+	rev := g.Reverse()
+	canExit := make([]bool, g.N())
+	for _, e := range a.ExitBlocks {
+		for v, ok := range rev.ReachableFrom(e) {
+			if ok {
+				canExit[v] = true
+			}
+		}
+	}
+	for v := range canExit {
+		if reach[v] && !canExit[v] {
+			a.NoExitPath = append(a.NoExitPath, v)
+		}
+	}
+	return a, nil
+}

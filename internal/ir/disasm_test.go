@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func disasm(t *testing.T, p *Program) *CFG {
+	t.Helper()
+	cfg, err := Disassemble(p)
+	if err != nil {
+		t.Fatalf("Disassemble: %v", err)
+	}
+	return cfg
+}
+
+func TestDisassembleStraightLine(t *testing.T) {
+	p := mustBuild(t, NewAsm("s").Emit(MovI, 0, 1).Emit(AddI, 0, 2).Emit(Ret))
+	cfg := disasm(t, p)
+	if cfg.G().N() != 1 || cfg.G().M() != 0 {
+		t.Errorf("straight-line program: %d nodes %d edges, want 1/0", cfg.G().N(), cfg.G().M())
+	}
+	if cfg.Blocks[0].Len() != 3 {
+		t.Errorf("block length = %d, want 3", cfg.Blocks[0].Len())
+	}
+}
+
+func TestDisassembleDiamond(t *testing.T) {
+	// if/else with join: 4 blocks, 4 edges.
+	p := mustBuild(t, NewAsm("d").
+		Emit(CmpI, 0, 0).
+		Jump(Jle, "else").
+		Emit(AddI, 4, 1).
+		Jump(Jmp, "end").
+		Label("else").
+		Emit(SubI, 4, 1).
+		Label("end").
+		Emit(Ret))
+	cfg := disasm(t, p)
+	g := cfg.G()
+	if g.N() != 4 || g.M() != 4 {
+		t.Fatalf("diamond: %d nodes %d edges, want 4/4", g.N(), g.M())
+	}
+	// Entry branches to then (fallthrough) and else (target).
+	if !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Errorf("entry edges wrong: %v", g.Edges())
+	}
+	// Both arms join at the ret block.
+	if !g.HasEdge(1, 3) || !g.HasEdge(2, 3) {
+		t.Errorf("join edges wrong: %v", g.Edges())
+	}
+	if g.OutDegree(3) != 0 {
+		t.Error("ret block must have no successors")
+	}
+}
+
+func TestDisassembleSelfLoop(t *testing.T) {
+	p := mustBuild(t, NewAsm("l").
+		Emit(MovI, 5, 3).
+		Label("head").
+		Emit(SubI, 5, 1).
+		Emit(CmpI, 5, 0).
+		Jump(Jgt, "head").
+		Emit(Ret))
+	cfg := disasm(t, p)
+	g := cfg.G()
+	if g.N() != 3 {
+		t.Fatalf("loop: %d nodes, want 3", g.N())
+	}
+	if !g.HasEdge(1, 1) {
+		t.Errorf("missing self loop: %v", g.Edges())
+	}
+}
+
+func TestDisassembleMultipleRets(t *testing.T) {
+	p := mustBuild(t, NewAsm("r").
+		Emit(CmpI, 0, 7).
+		Jump(Jne, "ok").
+		Emit(Ret).
+		Label("ok").
+		Emit(Ret))
+	cfg := disasm(t, p)
+	exits := cfg.ExitBlocks(p)
+	if len(exits) != 2 {
+		t.Errorf("ExitBlocks = %v, want 2 exits", exits)
+	}
+}
+
+func TestDisassembleUnreachableBlockKept(t *testing.T) {
+	// GEA relies on never-executed code still appearing in the CFG.
+	p := mustBuild(t, NewAsm("u").
+		Jump(Jmp, "end").
+		Emit(AddI, 4, 1). // dead
+		Label("end").
+		Emit(Ret))
+	cfg := disasm(t, p)
+	if cfg.G().N() != 3 {
+		t.Errorf("unreachable code dropped: %d nodes, want 3", cfg.G().N())
+	}
+}
+
+func TestDisassembleBlockPartition(t *testing.T) {
+	p := mustBuild(t, NewAsm("p").
+		Emit(CmpI, 0, 0).
+		Jump(Jle, "a").
+		Emit(Nop).
+		Label("a").
+		Emit(CmpI, 1, 1).
+		Jump(Jge, "b").
+		Emit(Nop).
+		Label("b").
+		Emit(Ret))
+	cfg := disasm(t, p)
+	// Blocks must exactly partition the instruction range.
+	covered := 0
+	for k, blk := range cfg.Blocks {
+		if blk.Start >= blk.End {
+			t.Fatalf("block %d empty: %+v", k, blk)
+		}
+		covered += blk.Len()
+		for i := blk.Start; i < blk.End; i++ {
+			if cfg.BlockOf[i] != k {
+				t.Fatalf("BlockOf[%d] = %d, want %d", i, cfg.BlockOf[i], k)
+			}
+		}
+	}
+	if covered != len(p.Code) {
+		t.Errorf("blocks cover %d instructions, want %d", covered, len(p.Code))
+	}
+}
+
+func TestDisassembleInvalidProgram(t *testing.T) {
+	if _, err := Disassemble(&Program{}); err == nil {
+		t.Error("Disassemble accepted an invalid program")
+	}
+}
+
+func TestBlockLabels(t *testing.T) {
+	p := mustBuild(t, NewAsm("bl").Emit(MovI, 0, 1).Emit(Ret))
+	cfg := disasm(t, p)
+	labels := cfg.BlockLabels(p)
+	if len(labels) != 1 {
+		t.Fatalf("labels = %d, want 1", len(labels))
+	}
+	if !strings.Contains(labels[0], "movi") || !strings.Contains(labels[0], "ret") {
+		t.Errorf("label missing instructions: %q", labels[0])
+	}
+}
+
+// TestDisassembleStability: re-disassembling the identical instruction
+// stream yields the identical CFG — the disassembler is a function of the
+// program bytes only.
+func TestDisassembleStability(t *testing.T) {
+	p := mustBuild(t, NewAsm("st").
+		Emit(MovI, 5, 2).
+		Label("h").
+		Emit(CmpI, 5, 0).
+		Jump(Jgt, "h").
+		Emit(Ret))
+	a := disasm(t, p)
+	b := disasm(t, p.Clone())
+	if !a.G().Equal(b.G()) {
+		t.Error("disassembly not stable across clones")
+	}
+}

@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// FuzzParse feeds arbitrary text to the assembly parser: it must never
+// panic, and anything it accepts must validate, disassemble, and render
+// back to parseable text.
+func FuzzParse(f *testing.F) {
+	f.Add("movi r0, 1\nret")
+	f.Add("; name\n 0: jmp   @1\n 1: ret\n")
+	f.Add("cmpi r1, -3\njle @0\nret")
+	f.Add("load r7, [255]\nstore [0], r7\nsys 13\nret")
+	f.Add("garbage input !!!")
+	f.Add("movi r0\nret")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Parse accepted a non-validating program: %v", err)
+		}
+		if _, err := Disassemble(p); err != nil {
+			t.Fatalf("accepted program fails to disassemble: %v", err)
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("rendered program does not re-parse: %v", err)
+		}
+		if len(back.Code) != len(p.Code) {
+			t.Fatalf("round trip changed length: %d -> %d", len(p.Code), len(back.Code))
+		}
+	})
+}
+
+// FuzzDisassemble feeds arbitrary instruction encodings: Disassemble
+// must never panic and must reject what Validate rejects.
+func FuzzDisassemble(f *testing.F) {
+	f.Add([]byte{byte(MovI), 0, 5, byte(Ret), 0, 0})
+	f.Add([]byte{byte(Jmp), 0, 0, byte(Ret), 0, 0})
+	f.Add([]byte{99, 1, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var p Program
+		for i := 0; i+2 < len(raw); i += 3 {
+			p.Code = append(p.Code, Instr{
+				Op: Op(raw[i]),
+				A:  int32(int8(raw[i+1])),
+				B:  int32(int8(raw[i+2])),
+			})
+		}
+		cfg, err := Disassemble(&p)
+		if err != nil {
+			return
+		}
+		// Accepted programs must have a complete block partition.
+		covered := 0
+		for _, blk := range cfg.Blocks {
+			covered += blk.Len()
+		}
+		if covered != len(p.Code) {
+			t.Fatalf("blocks cover %d of %d instructions", covered, len(p.Code))
+		}
+	})
+}
+
+// TestParseRoundTripRandomPrograms: property check that every randomly
+// assembled valid program round-trips through text.
+func TestParseRoundTripRandomPrograms(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := NewAsm("rt")
+		n := 3 + rng.Intn(20)
+		a.Label("start")
+		for i := 0; i < n; i++ {
+			switch rng.Intn(5) {
+			case 0:
+				a.Emit(MovI, int32(rng.Intn(NumRegs)), int32(rng.Intn(100)-50))
+			case 1:
+				a.Emit(AddR, int32(rng.Intn(NumRegs)), int32(rng.Intn(NumRegs)))
+			case 2:
+				a.Emit(CmpI, int32(rng.Intn(NumRegs)), int32(rng.Intn(16)))
+				a.Jump(Jge, "end")
+			case 3:
+				a.Emit(Store, int32(rng.Intn(MemSize)), int32(rng.Intn(NumRegs)))
+			case 4:
+				a.Emit(Sys, int32(rng.Intn(16)))
+			}
+		}
+		a.Label("end")
+		a.Emit(Ret)
+		p, err := a.Build()
+		if err != nil {
+			return false
+		}
+		back, err := Parse(p.String())
+		if err != nil {
+			return false
+		}
+		if len(back.Code) != len(p.Code) {
+			return false
+		}
+		for i := range p.Code {
+			if back.Code[i] != p.Code[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}

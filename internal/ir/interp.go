@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Interpreter errors.
+var (
+	// ErrStepBudget indicates the program exceeded the step budget
+	// without reaching a ret (possible infinite loop).
+	ErrStepBudget = errors.New("ir: step budget exceeded")
+)
+
+// Event is one observable action: a Sys instruction together with the
+// values of r0 and r1 at the time of the call. The sequence of events is a
+// program's externally visible behaviour; GEA must preserve it exactly.
+type Event struct {
+	ID int32 `json:"id"`
+	R0 int64 `json:"r0"`
+	R1 int64 `json:"r1"`
+}
+
+// Trace is the observable behaviour of one execution.
+type Trace struct {
+	Events []Event `json:"events"`
+	Result int64   `json:"result"` // r0 at ret
+	Steps  int     `json:"steps"`
+}
+
+// Equal reports whether two traces are observationally identical (same
+// events in order and same result; step counts may differ).
+func (t *Trace) Equal(u *Trace) bool {
+	if t.Result != u.Result || len(t.Events) != len(u.Events) {
+		return false
+	}
+	for i, e := range t.Events {
+		if u.Events[i] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// Interp executes programs. The zero value is ready to use with the default
+// step budget.
+type Interp struct {
+	// MaxSteps bounds execution; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the default execution step budget.
+const DefaultMaxSteps = 1 << 20
+
+// Run executes p with inputs loaded into r0..r3 (missing inputs are zero,
+// extra inputs are ignored) and returns the observable trace. The program
+// must validate. Execution is fully deterministic.
+func (it *Interp) Run(p *Program, inputs ...int64) (*Trace, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: run: %w", err)
+	}
+	budget := it.MaxSteps
+	if budget <= 0 {
+		budget = DefaultMaxSteps
+	}
+	var (
+		regs [NumRegs]int64
+		mem  [MemSize]int64
+		flag int // sign of last comparison: -1, 0, +1
+		tr   Trace
+	)
+	for i, in := range inputs {
+		if i >= 4 {
+			break
+		}
+		regs[i] = in
+	}
+	pc := 0
+	for steps := 0; ; steps++ {
+		if steps >= budget {
+			return nil, fmt.Errorf("%w: %q after %d steps", ErrStepBudget, p.Name, steps)
+		}
+		if pc < 0 || pc >= len(p.Code) {
+			// Falling off the end behaves like ret; generated programs
+			// always end in ret so this is defensive.
+			tr.Result = regs[0]
+			tr.Steps = steps
+			return &tr, nil
+		}
+		ins := p.Code[pc]
+		next := pc + 1
+		switch ins.Op {
+		case Nop:
+		case MovI:
+			regs[ins.A] = int64(ins.B)
+		case MovR:
+			regs[ins.A] = regs[ins.B]
+		case AddI:
+			regs[ins.A] += int64(ins.B)
+		case AddR:
+			regs[ins.A] += regs[ins.B]
+		case SubI:
+			regs[ins.A] -= int64(ins.B)
+		case SubR:
+			regs[ins.A] -= regs[ins.B]
+		case MulI:
+			regs[ins.A] *= int64(ins.B)
+		case XorR:
+			regs[ins.A] ^= regs[ins.B]
+		case Load:
+			regs[ins.A] = mem[ins.B]
+		case Store:
+			mem[ins.A] = regs[ins.B]
+		case CmpI:
+			flag = cmp(regs[ins.A], int64(ins.B))
+		case CmpR:
+			flag = cmp(regs[ins.A], regs[ins.B])
+		case Jmp:
+			next = int(ins.A)
+		case Jeq:
+			if flag == 0 {
+				next = int(ins.A)
+			}
+		case Jne:
+			if flag != 0 {
+				next = int(ins.A)
+			}
+		case Jlt:
+			if flag < 0 {
+				next = int(ins.A)
+			}
+		case Jle:
+			if flag <= 0 {
+				next = int(ins.A)
+			}
+		case Jgt:
+			if flag > 0 {
+				next = int(ins.A)
+			}
+		case Jge:
+			if flag >= 0 {
+				next = int(ins.A)
+			}
+		case Sys:
+			tr.Events = append(tr.Events, Event{ID: ins.A, R0: regs[0], R1: regs[1]})
+		case Ret:
+			tr.Result = regs[0]
+			tr.Steps = steps + 1
+			return &tr, nil
+		default:
+			return nil, fmt.Errorf("ir: run %q: invalid opcode %d at %d", p.Name, ins.Op, pc)
+		}
+		pc = next
+	}
+}
+
+func cmp(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,222 @@
+package ir
+
+import (
+	"errors"
+	"testing"
+)
+
+func run(t *testing.T, p *Program, inputs ...int64) *Trace {
+	t.Helper()
+	it := &Interp{}
+	tr, err := it.Run(p, inputs...)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tr
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	tests := []struct {
+		name string
+		emit func(a *Asm)
+		want int64
+	}{
+		{"movi", func(a *Asm) { a.Emit(MovI, 0, 42) }, 42},
+		{"movr", func(a *Asm) { a.Emit(MovI, 1, 7).Emit(MovR, 0, 1) }, 7},
+		{"addi", func(a *Asm) { a.Emit(MovI, 0, 40).Emit(AddI, 0, 2) }, 42},
+		{"addr", func(a *Asm) { a.Emit(MovI, 0, 40).Emit(MovI, 1, 2).Emit(AddR, 0, 1) }, 42},
+		{"subi", func(a *Asm) { a.Emit(MovI, 0, 50).Emit(SubI, 0, 8) }, 42},
+		{"subr", func(a *Asm) { a.Emit(MovI, 0, 50).Emit(MovI, 1, 8).Emit(SubR, 0, 1) }, 42},
+		{"muli", func(a *Asm) { a.Emit(MovI, 0, 21).Emit(MulI, 0, 2) }, 42},
+		{"xorr", func(a *Asm) { a.Emit(MovI, 0, 0xff).Emit(MovI, 1, 0xd5).Emit(XorR, 0, 1) }, 42},
+		{"nop", func(a *Asm) { a.Emit(MovI, 0, 42).Emit(Nop) }, 42},
+		{"negative", func(a *Asm) { a.Emit(MovI, 0, -42) }, -42},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAsm(tc.name)
+			tc.emit(a)
+			a.Emit(Ret)
+			tr := run(t, mustBuild(t, a))
+			if tr.Result != tc.want {
+				t.Errorf("result = %d, want %d", tr.Result, tc.want)
+			}
+		})
+	}
+}
+
+func TestInterpMemory(t *testing.T) {
+	p := mustBuild(t, NewAsm("mem").
+		Emit(MovI, 1, 123).
+		Emit(Store, 10, 1).
+		Emit(Load, 0, 10).
+		Emit(Ret))
+	if tr := run(t, p); tr.Result != 123 {
+		t.Errorf("load/store result = %d, want 123", tr.Result)
+	}
+	// Uninitialized memory reads as zero.
+	p2 := mustBuild(t, NewAsm("mem0").Emit(Load, 0, 200).Emit(Ret))
+	if tr := run(t, p2); tr.Result != 0 {
+		t.Errorf("uninitialized load = %d, want 0", tr.Result)
+	}
+}
+
+func TestInterpConditionals(t *testing.T) {
+	// Program computes max(r0, r1).
+	p := mustBuild(t, NewAsm("max").
+		Emit(CmpR, 0, 1).
+		Jump(Jge, "done").
+		Emit(MovR, 0, 1).
+		Label("done").
+		Emit(Ret))
+	tests := []struct {
+		a, b, want int64
+	}{
+		{3, 5, 5}, {5, 3, 5}, {4, 4, 4}, {-2, -7, -2},
+	}
+	for _, tc := range tests {
+		if tr := run(t, p, tc.a, tc.b); tr.Result != tc.want {
+			t.Errorf("max(%d,%d) = %d, want %d", tc.a, tc.b, tr.Result, tc.want)
+		}
+	}
+}
+
+func TestInterpAllJumpKinds(t *testing.T) {
+	// For each conditional jump, check both taken and not-taken.
+	tests := []struct {
+		op    Op
+		a, b  int64
+		taken bool
+	}{
+		{Jeq, 1, 1, true}, {Jeq, 1, 2, false},
+		{Jne, 1, 2, true}, {Jne, 1, 1, false},
+		{Jlt, 1, 2, true}, {Jlt, 2, 2, false},
+		{Jle, 2, 2, true}, {Jle, 3, 2, false},
+		{Jgt, 3, 2, true}, {Jgt, 2, 2, false},
+		{Jge, 2, 2, true}, {Jge, 1, 2, false},
+	}
+	for _, tc := range tests {
+		a := NewAsm("j")
+		a.Emit(CmpR, 0, 1)
+		a.Jump(tc.op, "taken")
+		a.Emit(MovI, 0, 0)
+		a.Emit(Ret)
+		a.Label("taken")
+		a.Emit(MovI, 0, 1)
+		a.Emit(Ret)
+		tr := run(t, mustBuild(t, a), tc.a, tc.b)
+		want := int64(0)
+		if tc.taken {
+			want = 1
+		}
+		if tr.Result != want {
+			t.Errorf("%v with cmp(%d,%d): result %d, want %d", tc.op, tc.a, tc.b, tr.Result, want)
+		}
+	}
+}
+
+func TestInterpLoop(t *testing.T) {
+	// Sum 1..r0.
+	p := mustBuild(t, NewAsm("sum").
+		Emit(MovI, 4, 0).
+		Emit(MovI, 5, 0).
+		Label("head").
+		Emit(CmpR, 5, 0).
+		Jump(Jge, "done").
+		Emit(AddI, 5, 1).
+		Emit(AddR, 4, 5).
+		Jump(Jmp, "head").
+		Label("done").
+		Emit(MovR, 0, 4).
+		Emit(Ret))
+	if tr := run(t, p, 10); tr.Result != 55 {
+		t.Errorf("sum(10) = %d, want 55", tr.Result)
+	}
+}
+
+func TestInterpSysTrace(t *testing.T) {
+	p := mustBuild(t, NewAsm("tr").
+		Emit(MovI, 0, 1).
+		Emit(MovI, 1, 2).
+		Emit(Sys, 13).
+		Emit(AddI, 0, 1).
+		Emit(Sys, 14).
+		Emit(Ret))
+	tr := run(t, p)
+	want := []Event{{ID: 13, R0: 1, R1: 2}, {ID: 14, R0: 2, R1: 2}}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("events = %d, want %d", len(tr.Events), len(want))
+	}
+	for i, e := range want {
+		if tr.Events[i] != e {
+			t.Errorf("event %d = %+v, want %+v", i, tr.Events[i], e)
+		}
+	}
+}
+
+func TestInterpInputs(t *testing.T) {
+	p := mustBuild(t, NewAsm("in").
+		Emit(AddR, 0, 1).
+		Emit(AddR, 0, 2).
+		Emit(AddR, 0, 3).
+		Emit(Ret))
+	if tr := run(t, p, 1, 2, 3, 4); tr.Result != 10 {
+		t.Errorf("sum of inputs = %d, want 10", tr.Result)
+	}
+	// Extra inputs beyond r3 are ignored.
+	if tr := run(t, p, 1, 2, 3, 4, 100); tr.Result != 10 {
+		t.Errorf("extra inputs changed behaviour")
+	}
+}
+
+func TestInterpStepBudget(t *testing.T) {
+	p := mustBuild(t, NewAsm("inf").
+		Label("spin").
+		Jump(Jmp, "spin").
+		Emit(Ret))
+	it := &Interp{MaxSteps: 100}
+	if _, err := it.Run(p); !errors.Is(err, ErrStepBudget) {
+		t.Errorf("Run = %v, want ErrStepBudget", err)
+	}
+}
+
+func TestInterpInvalidProgram(t *testing.T) {
+	it := &Interp{}
+	if _, err := it.Run(&Program{}); err == nil {
+		t.Error("Run accepted an invalid program")
+	}
+}
+
+func TestInterpDeterminism(t *testing.T) {
+	p := mustBuild(t, NewAsm("det").
+		Emit(MovI, 4, 17).
+		Emit(MulI, 4, 3).
+		Emit(Sys, 1).
+		Emit(MovR, 0, 4).
+		Emit(Ret))
+	a := run(t, p, 5)
+	b := run(t, p, 5)
+	if !a.Equal(b) {
+		t.Error("two runs with identical inputs diverged")
+	}
+}
+
+func TestTraceEqual(t *testing.T) {
+	a := &Trace{Result: 1, Events: []Event{{ID: 1, R0: 2}}}
+	b := &Trace{Result: 1, Events: []Event{{ID: 1, R0: 2}}, Steps: 99}
+	if !a.Equal(b) {
+		t.Error("step counts must not affect equality")
+	}
+	c := &Trace{Result: 2, Events: []Event{{ID: 1, R0: 2}}}
+	if a.Equal(c) {
+		t.Error("different results reported equal")
+	}
+	d := &Trace{Result: 1, Events: []Event{{ID: 1, R0: 3}}}
+	if a.Equal(d) {
+		t.Error("different events reported equal")
+	}
+	e := &Trace{Result: 1}
+	if a.Equal(e) {
+		t.Error("different event counts reported equal")
+	}
+}

@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrParse wraps assembly text parse failures.
+var ErrParse = errors.New("ir: parse error")
+
+// Parse reads the textual assembly format emitted by Program.String back
+// into a Program: an optional `; name` header line, then one instruction
+// per line, each optionally prefixed with `index:`. Blank lines and
+// `;` comments are skipped. Jump targets use `@index` absolute form.
+func Parse(text string) (*Program, error) {
+	p := &Program{Name: "parsed"}
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			// Header comment: "; name (...)".
+			if p.Name == "parsed" && len(p.Code) == 0 {
+				rest := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+				if i := strings.IndexByte(rest, '('); i > 0 {
+					rest = strings.TrimSpace(rest[:i])
+				}
+				if rest != "" {
+					p.Name = rest
+				}
+			}
+			continue
+		}
+		// Strip a leading "NN:" index prefix.
+		if i := strings.IndexByte(line, ':'); i > 0 {
+			if _, err := strconv.Atoi(strings.TrimSpace(line[:i])); err == nil {
+				line = strings.TrimSpace(line[i+1:])
+			}
+		}
+		if line == "" {
+			continue
+		}
+		ins, err := parseInstr(line)
+		if err != nil {
+			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
+		}
+		p.Code = append(p.Code, ins)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
+	}
+	return p, nil
+}
+
+var mnemonics = func() map[string]Op {
+	m := make(map[string]Op, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func parseInstr(line string) (Instr, error) {
+	fields := strings.Fields(line)
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	operands := strings.Join(fields[1:], " ")
+	parts := splitOperands(operands)
+	ins := Instr{Op: op}
+	need := operandCount(op)
+	if len(parts) != need {
+		return Instr{}, fmt.Errorf("%s takes %d operands, got %d", op, need, len(parts))
+	}
+	for i, part := range parts {
+		v, err := parseOperand(part)
+		if err != nil {
+			return Instr{}, err
+		}
+		if i == 0 {
+			ins.A = v
+		} else {
+			ins.B = v
+		}
+	}
+	return ins, nil
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func operandCount(op Op) int {
+	switch op {
+	case Nop, Ret:
+		return 0
+	case Jmp, Jeq, Jne, Jlt, Jle, Jgt, Jge, Sys:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func parseOperand(s string) (int32, error) {
+	switch {
+	case strings.HasPrefix(s, "r"):
+		v, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return 0, fmt.Errorf("bad register %q", s)
+		}
+		return int32(v), nil
+	case strings.HasPrefix(s, "@"):
+		v, err := strconv.Atoi(s[1:])
+		if err != nil {
+			return 0, fmt.Errorf("bad jump target %q", s)
+		}
+		return int32(v), nil
+	case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+		v, err := strconv.Atoi(s[1 : len(s)-1])
+		if err != nil {
+			return 0, fmt.Errorf("bad memory address %q", s)
+		}
+		return int32(v), nil
+	default:
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad immediate %q", s)
+		}
+		return int32(v), nil
+	}
+}

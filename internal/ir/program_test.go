@@ -1,0 +1,150 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustBuild(t *testing.T, a *Asm) *Program {
+	t.Helper()
+	p, err := a.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   Op
+		want string
+	}{
+		{Nop, "nop"}, {MovI, "movi"}, {Jle, "jle"}, {Sys, "sys"}, {Ret, "ret"},
+		{Op(99), "op(99)"},
+	}
+	for _, tc := range tests {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !Jmp.IsJump() || !Jge.IsJump() || Ret.IsJump() || AddI.IsJump() {
+		t.Error("IsJump misclassifies")
+	}
+	if Jmp.IsCondJump() || !Jeq.IsCondJump() || !Jge.IsCondJump() {
+		t.Error("IsCondJump misclassifies")
+	}
+	if !Ret.Terminates() || !Jmp.Terminates() || Jeq.Terminates() {
+		t.Error("Terminates misclassifies")
+	}
+	if Op(0).Valid() || Op(200).Valid() || !Sys.Valid() {
+		t.Error("Valid misclassifies")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	tests := []struct {
+		ins  Instr
+		want string
+	}{
+		{Instr{Op: Ret}, "ret"},
+		{Instr{Op: MovI, A: 3, B: -7}, "movi  r3, -7"},
+		{Instr{Op: AddR, A: 1, B: 2}, "add   r1, r2"},
+		{Instr{Op: Load, A: 1, B: 9}, "load  r1, [9]"},
+		{Instr{Op: Store, A: 9, B: 1}, "store [9], r1"},
+		{Instr{Op: Jle, A: 4}, "jle   @4"},
+		{Instr{Op: Sys, A: 13}, "sys   13"},
+	}
+	for _, tc := range tests {
+		if got := tc.ins.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAsmResolvesLabels(t *testing.T) {
+	p := mustBuild(t, NewAsm("t").
+		Emit(MovI, 0, 1).
+		Label("head").
+		Emit(AddI, 0, 1).
+		Emit(CmpI, 0, 3).
+		Jump(Jlt, "head").
+		Emit(Ret))
+	if p.Code[3].Op != Jlt || p.Code[3].A != 1 {
+		t.Errorf("jump not resolved to index 1: %+v", p.Code[3])
+	}
+}
+
+func TestAsmUnknownLabel(t *testing.T) {
+	_, err := NewAsm("t").Jump(Jmp, "nowhere").Emit(Ret).Build()
+	if !errors.Is(err, ErrUnknownLabel) {
+		t.Errorf("Build = %v, want ErrUnknownLabel", err)
+	}
+}
+
+func TestAsmDuplicateLabel(t *testing.T) {
+	_, err := NewAsm("t").Label("x").Emit(Nop).Label("x").Emit(Ret).Build()
+	if err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("Build = %v, want duplicate label error", err)
+	}
+}
+
+func TestAsmNonJumpViaJump(t *testing.T) {
+	_, err := NewAsm("t").Label("l").Jump(AddI, "l").Emit(Ret).Build()
+	if err == nil {
+		t.Error("Jump with non-jump opcode accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		prog Program
+		want error
+	}{
+		{"empty", Program{Name: "e"}, ErrEmptyProgram},
+		{"noret", Program{Code: []Instr{{Op: Nop}}}, ErrNoRet},
+		{"badtarget", Program{Code: []Instr{{Op: Jmp, A: 5}, {Op: Ret}}}, ErrBadTarget},
+		{"badreg", Program{Code: []Instr{{Op: MovI, A: 9}, {Op: Ret}}}, ErrBadOperand},
+		{"badreg2", Program{Code: []Instr{{Op: AddR, A: 0, B: 12}, {Op: Ret}}}, ErrBadOperand},
+		{"badload", Program{Code: []Instr{{Op: Load, A: 0, B: 9999}, {Op: Ret}}}, ErrBadOperand},
+		{"badstore", Program{Code: []Instr{{Op: Store, A: -1, B: 0}, {Op: Ret}}}, ErrBadOperand},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.prog.Validate(); !errors.Is(err, tc.want) {
+				t.Errorf("Validate() = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateBadOpcode(t *testing.T) {
+	p := Program{Code: []Instr{{Op: Op(77)}, {Op: Ret}}}
+	if err := p.Validate(); err == nil {
+		t.Error("Validate accepted invalid opcode")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := mustBuild(t, NewAsm("orig").Emit(MovI, 0, 1).Emit(Ret))
+	c := p.Clone()
+	c.Code[0].B = 99
+	c.Name = "copy"
+	if p.Code[0].B != 1 || p.Name != "orig" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := mustBuild(t, NewAsm("demo").Emit(MovI, 0, 5).Emit(Ret))
+	s := p.String()
+	for _, want := range []string{"demo", "movi", "ret", "0:", "1:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"advmal/internal/tensor"
+)
+
+// numericalInputGrad estimates dLoss/dx by central finite differences.
+func numericalInputGrad(net *Network, x []float64, label int) []float64 {
+	const h = 1e-5
+	grad := make([]float64, len(x))
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		lp, _ := SoftmaxCE(net.Forward(x, false), label)
+		x[i] = orig - h
+		lm, _ := SoftmaxCE(net.Forward(x, false), label)
+		x[i] = orig
+		grad[i] = (lp - lm) / (2 * h)
+	}
+	return grad
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestInputGradientMatchesNumerical checks the full backward pass through
+// every layer type of the paper architecture against finite differences.
+func TestInputGradientMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := PaperCNN(11)
+	for trial := 0; trial < 3; trial++ {
+		x := make([]float64, PaperInputLen)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		label := trial % 2
+		_, analytic := net.LossGrad(x, label)
+		numeric := numericalInputGrad(net, x, label)
+		if d := maxAbsDiff(analytic, numeric); d > 1e-4 {
+			t.Errorf("trial %d: input gradient mismatch %v", trial, d)
+		}
+	}
+}
+
+// TestParamGradientsMatchNumerical spot-checks parameter gradients of
+// every layer against finite differences.
+func TestParamGradientsMatchNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := PaperCNN(12)
+	x := make([]float64, PaperInputLen)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	label := 1
+	_, _ = net.LossGrad(x, label) // fills p.G
+	const h = 1e-5
+	for _, p := range net.Params() {
+		// Check a few entries per parameter tensor.
+		for probe := 0; probe < 3 && probe < len(p.W); probe++ {
+			j := (probe * 7919) % len(p.W)
+			orig := p.W[j]
+			p.W[j] = orig + h
+			lp, _ := SoftmaxCE(net.Forward(x, false), label)
+			p.W[j] = orig - h
+			lm, _ := SoftmaxCE(net.Forward(x, false), label)
+			p.W[j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if d := math.Abs(p.G[j] - numeric); d > 1e-4 {
+				t.Errorf("%s[%d]: analytic %v, numeric %v", p.Name, j, p.G[j], numeric)
+			}
+		}
+	}
+}
+
+// TestJacobianMatchesNumerical verifies per-logit input Jacobians, which
+// JSMA, DeepFool, and C&W depend on.
+func TestJacobianMatchesNumerical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net := SmallMLP(13, 6, 10, 3)
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	logits, jac := net.Jacobian(x)
+	if len(jac) != 3 {
+		t.Fatalf("Jacobian rows = %d, want 3", len(jac))
+	}
+	const h = 1e-5
+	for k := range logits {
+		for i := range x {
+			orig := x[i]
+			x[i] = orig + h
+			zp := net.Forward(x, false)[k]
+			x[i] = orig - h
+			zm := net.Forward(x, false)[k]
+			x[i] = orig
+			numeric := (zp - zm) / (2 * h)
+			if d := math.Abs(jac[k][i] - numeric); d > 1e-4 {
+				t.Errorf("jac[%d][%d] = %v, numeric %v", k, i, jac[k][i], numeric)
+			}
+		}
+	}
+}
+
+// TestLogitGradConsistentWithJacobian cross-checks the two gradient APIs.
+func TestLogitGradConsistentWithJacobian(t *testing.T) {
+	net := SmallMLP(14, 4, 8, 2)
+	x := []float64{0.1, -0.3, 0.7, 0.2}
+	_, jac := net.Jacobian(x)
+	for k := 0; k < 2; k++ {
+		_, g := net.LogitGrad(x, k)
+		if d := maxAbsDiff(g, jac[k]); d > 1e-12 {
+			t.Errorf("LogitGrad(%d) differs from Jacobian row by %v", k, d)
+		}
+	}
+}
+
+// TestConvolutionKnownValues checks Conv1D against hand-computed output.
+func TestConvolutionKnownValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv1D("c", 1, 1, 3, false, rng)
+	// Kernel [1, 2, 3], bias 10.
+	copy(c.w.W, []float64{1, 2, 3})
+	c.b.W[0] = 10
+	in := &tensor.T{Shape: []int{1, 4}, Data: []float64{1, 0, -1, 2}}
+	out := c.Forward(in, false)
+	// valid positions: [1*1+0*2+(-1)*3, 0*1+(-1)*2+2*3] + 10 = [8, 14]
+	want := []float64{8, 14}
+	if out.Cols() != 2 {
+		t.Fatalf("out len = %d, want 2", out.Cols())
+	}
+	for i := range want {
+		if math.Abs(out.Data[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestConvolutionSamePadding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv1D("c", 1, 1, 3, true, rng)
+	copy(c.w.W, []float64{1, 1, 1})
+	c.b.W[0] = 0
+	in := &tensor.T{Shape: []int{1, 3}, Data: []float64{1, 2, 3}}
+	out := c.Forward(in, false)
+	// same padding: [0+1+2, 1+2+3, 2+3+0]
+	want := []float64{3, 6, 5}
+	if out.Cols() != 3 {
+		t.Fatalf("same-pad out len = %d, want 3", out.Cols())
+	}
+	for i := range want {
+		if math.Abs(out.Data[i]-want[i]) > 1e-12 {
+			t.Errorf("out[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}

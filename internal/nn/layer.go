@@ -1,0 +1,61 @@
+// Package nn is the deep-learning substrate: a from-scratch CNN with the
+// paper's exact architecture (Fig. 5), hand-written forward and backward
+// passes, Adam and SGD optimizers, a data-parallel trainer, evaluation
+// metrics (accuracy / FNR / FPR), and the input-gradient and per-logit
+// Jacobian queries the adversarial attacks require.
+//
+// Networks are not safe for concurrent use; CloneShared produces a view
+// that shares weights but has private activation caches and gradients, so
+// clones may run forward/backward in parallel as long as nobody is
+// updating the shared weights at the same time.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"advmal/internal/tensor"
+)
+
+// Param is one learnable parameter tensor. W is shared between a network
+// and its CloneShared views; G is private to each view.
+type Param struct {
+	Name string
+	W    []float64
+	G    []float64
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is one differentiable stage of the network. Forward caches
+// whatever Backward needs; Backward consumes the gradient w.r.t. the
+// layer's output and returns the gradient w.r.t. its input, accumulating
+// parameter gradients into Params().
+type Layer interface {
+	Name() string
+	Forward(x *tensor.T, train bool) *tensor.T
+	Backward(grad *tensor.T) *tensor.T
+	Params() []*Param
+	// CloneShared returns a view sharing weights but with private caches
+	// and gradient buffers.
+	CloneShared() Layer
+}
+
+// Reseeder is implemented by stochastic layers (Dropout) so the trainer
+// can give each data-parallel worker a deterministic, distinct stream.
+type Reseeder interface {
+	Reseed(seed int64)
+}
+
+// heInit fills w with He-normal initialization for fanIn inputs.
+func heInit(rng *rand.Rand, w []float64, fanIn int) {
+	std := math.Sqrt(2 / float64(fanIn))
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}

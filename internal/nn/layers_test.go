@@ -1,0 +1,269 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"advmal/internal/tensor"
+)
+
+// TestFig5ArchitectureShapes verifies the exact tensor shapes the paper
+// reports for every block of the CNN (§IV-B1): 46x23 -> 46x21 -> 46x10 ->
+// 92x10 -> 92x8 -> 92x4 -> 368 -> 512 -> 2.
+func TestFig5ArchitectureShapes(t *testing.T) {
+	net := PaperCNN(1)
+	x := tensor.New(1, PaperInputLen)
+	wantShapes := map[string][]int{
+		"conv1":   {46, 23},
+		"conv2":   {46, 21},
+		"pool1":   {46, 10},
+		"conv3":   {92, 10},
+		"conv4":   {92, 8},
+		"pool2":   {92, 4},
+		"flatten": {368},
+		"fc1":     {512},
+		"logits":  {2},
+	}
+	cur := x
+	for _, l := range net.Layers() {
+		cur = l.Forward(cur, false)
+		want, ok := wantShapes[l.Name()]
+		if !ok {
+			continue
+		}
+		if len(cur.Shape) != len(want) {
+			t.Fatalf("%s: shape %v, want %v", l.Name(), cur.Shape, want)
+		}
+		for i := range want {
+			if cur.Shape[i] != want[i] {
+				t.Fatalf("%s: shape %v, want %v", l.Name(), cur.Shape, want)
+			}
+		}
+	}
+	if net.NumParams() == 0 {
+		t.Error("no parameters")
+	}
+}
+
+func TestSummaryMentionsEveryLayer(t *testing.T) {
+	s := PaperCNN(1).Summary()
+	for _, name := range []string{"conv1", "conv4", "pool2", "flatten", "fc1", "logits", "Total params"} {
+		if !strings.Contains(s, name) {
+			t.Errorf("Summary missing %q:\n%s", name, s)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := NewReLU("r")
+	in := tensor.FromSlice([]float64{-1, 0, 2})
+	out := r.Forward(in, true)
+	want := []float64{0, 0, 2}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("relu[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+	grad := r.Backward(tensor.FromSlice([]float64{5, 5, 5}))
+	wantG := []float64{0, 0, 5}
+	for i := range wantG {
+		if grad.Data[i] != wantG[i] {
+			t.Errorf("relu grad[%d] = %v, want %v", i, grad.Data[i], wantG[i])
+		}
+	}
+}
+
+func TestMaxPool(t *testing.T) {
+	m := NewMaxPool1D("m", 2)
+	in := &tensor.T{Shape: []int{2, 5}, Data: []float64{
+		1, 3, 2, 2, 9, // trailing 9 dropped (odd length)
+		4, 1, 0, 5, 7,
+	}}
+	out := m.Forward(in, true)
+	if out.Rows() != 2 || out.Cols() != 2 {
+		t.Fatalf("pool out shape %v, want (2,2)", out.Shape)
+	}
+	want := []float64{3, 2, 4, 5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Errorf("pool[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+	grad := m.Backward(&tensor.T{Shape: []int{2, 2}, Data: []float64{10, 20, 30, 40}})
+	wantG := []float64{0, 10, 20, 0, 0, 30, 0, 0, 40, 0}
+	for i := range wantG {
+		if grad.Data[i] != wantG[i] {
+			t.Errorf("pool grad[%d] = %v, want %v", i, grad.Data[i], wantG[i])
+		}
+	}
+}
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("d", 0.5, 1)
+	in := tensor.FromSlice([]float64{1, 2, 3})
+	out := d.Forward(in, false)
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Error("dropout at eval changed values")
+		}
+	}
+	// Backward after eval forward is also identity.
+	g := d.Backward(tensor.FromSlice([]float64{4, 5, 6}))
+	if g.Data[0] != 4 {
+		t.Error("dropout backward after eval not identity")
+	}
+}
+
+func TestDropoutTrainScalesSurvivors(t *testing.T) {
+	d := NewDropout("d", 0.5, 42)
+	n := 10000
+	in := tensor.New(n)
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	out := d.Forward(in, true)
+	var sum float64
+	zeros := 0
+	for _, v := range out.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			sum += v
+		default:
+			t.Fatalf("unexpected dropout output %v (want 0 or 2)", v)
+		}
+	}
+	if zeros < n/3 || zeros > 2*n/3 {
+		t.Errorf("dropped %d of %d, want ~half", zeros, n)
+	}
+	// Inverted dropout keeps the expectation: sum should be near n.
+	if math.Abs(sum-float64(n)) > float64(n)/10 {
+		t.Errorf("survivor mass = %v, want ~%d", sum, n)
+	}
+}
+
+func TestDropoutReseedReproduces(t *testing.T) {
+	d := NewDropout("d", 0.5, 0)
+	in := tensor.FromSlice(make([]float64, 64))
+	for i := range in.Data {
+		in.Data[i] = 1
+	}
+	d.Reseed(99)
+	a := d.Forward(in, true).Clone()
+	d.Reseed(99)
+	b := d.Forward(in, true)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("Reseed did not reproduce the mask stream")
+		}
+	}
+}
+
+func TestFlattenRoundTrip(t *testing.T) {
+	f := NewFlatten("f")
+	in := &tensor.T{Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}}
+	out := f.Forward(in, true)
+	if len(out.Shape) != 1 || out.Size() != 6 {
+		t.Fatalf("flatten shape %v", out.Shape)
+	}
+	back := f.Backward(out)
+	if back.Rows() != 2 || back.Cols() != 3 {
+		t.Errorf("flatten backward shape %v, want (2,3)", back.Shape)
+	}
+}
+
+func TestDensePanicsOnWrongInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dense accepted wrong input size")
+		}
+	}()
+	d := NewDense("d", 4, 2, newTestRNG())
+	d.Forward(tensor.New(3), false)
+}
+
+func TestConvPanicsOnWrongChannels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Conv1D accepted wrong channel count")
+		}
+	}()
+	c := NewConv1D("c", 2, 4, 3, true, newTestRNG())
+	c.Forward(tensor.New(3, 5), false)
+}
+
+func TestCloneSharedSharesWeightsNotGrads(t *testing.T) {
+	net := SmallMLP(3, 4, 8, 2)
+	clone := net.CloneShared()
+	p0 := net.Params()[0]
+	c0 := clone.Params()[0]
+	if &p0.W[0] != &c0.W[0] {
+		t.Error("CloneShared must share weight storage")
+	}
+	if &p0.G[0] == &c0.G[0] {
+		t.Error("CloneShared must not share gradient storage")
+	}
+	// Clone forward/backward must not clobber the original's caches.
+	x := []float64{1, 0, -1, 2}
+	want := net.Logits(x)
+	clone.LossGrad([]float64{9, 9, 9, 9}, 0)
+	got := net.Logits(x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Error("clone activity changed original outputs")
+		}
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	p := Softmax([]float64{1, 1})
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.5) > 1e-12 {
+		t.Errorf("Softmax(1,1) = %v", p)
+	}
+	// Large logits must not overflow.
+	p = Softmax([]float64{1000, 0})
+	if math.IsNaN(p[0]) || p[0] < 0.999 {
+		t.Errorf("Softmax(1000,0) = %v", p)
+	}
+	var sum float64
+	for _, x := range Softmax([]float64{0.3, -2, 5}) {
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("softmax sums to %v", sum)
+	}
+}
+
+func TestSoftmaxCE(t *testing.T) {
+	loss, grad := SoftmaxCE([]float64{0, 0}, 1)
+	if math.Abs(loss-math.Log(2)) > 1e-12 {
+		t.Errorf("loss = %v, want ln 2", loss)
+	}
+	if math.Abs(grad[0]-0.5) > 1e-12 || math.Abs(grad[1]+0.5) > 1e-12 {
+		t.Errorf("grad = %v, want [0.5 -0.5]", grad)
+	}
+	// Saturated wrong prediction has huge but finite loss.
+	loss, _ = SoftmaxCE([]float64{1000, 0}, 1)
+	if math.IsInf(loss, 0) || math.IsNaN(loss) {
+		t.Errorf("saturated loss = %v", loss)
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want int
+	}{
+		{[]float64{1, 3, 2}, 1},
+		{[]float64{5}, 0},
+		{[]float64{2, 2}, 0}, // first on ties
+		{[]float64{-5, -1, -3}, 1},
+	}
+	for _, tc := range tests {
+		if got := Argmax(tc.in); got != tc.want {
+			t.Errorf("Argmax(%v) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"fmt"
+)
+
+// Class labels for the detection task. Malware is the positive class, so
+// the false negative rate is the fraction of malware classified benign —
+// the disastrous direction the paper highlights.
+const (
+	ClassBenign  = 0
+	ClassMalware = 1
+)
+
+// Metrics summarizes binary-detector performance with the three statistics
+// the paper reports (§IV-C1): accuracy rate, false negative rate, and
+// false positive rate.
+type Metrics struct {
+	Accuracy  float64   `json:"accuracy"`
+	FNR       float64   `json:"fnr"`
+	FPR       float64   `json:"fpr"`
+	Confusion [2][2]int `json:"confusion"` // [true][predicted]
+	N         int       `json:"n"`
+}
+
+// String renders the metrics like the paper reports them.
+func (m Metrics) String() string {
+	return fmt.Sprintf("AR=%.2f%% FNR=%.2f%% FPR=%.2f%% (n=%d)",
+		m.Accuracy*100, m.FNR*100, m.FPR*100, m.N)
+}
+
+// Evaluate runs the network on every sample and computes Metrics. Labels
+// must be 0 (benign) or 1 (malware).
+func Evaluate(net *Network, x [][]float64, y []int) Metrics {
+	var m Metrics
+	m.N = len(x)
+	correct := 0
+	for i := range x {
+		pred := net.Predict(x[i])
+		m.Confusion[y[i]][pred]++
+		if pred == y[i] {
+			correct++
+		}
+	}
+	if m.N > 0 {
+		m.Accuracy = float64(correct) / float64(m.N)
+	}
+	tn := m.Confusion[ClassBenign][ClassBenign]
+	fp := m.Confusion[ClassBenign][ClassMalware]
+	fn := m.Confusion[ClassMalware][ClassBenign]
+	tp := m.Confusion[ClassMalware][ClassMalware]
+	if fn+tp > 0 {
+		m.FNR = float64(fn) / float64(fn+tp)
+	}
+	if fp+tn > 0 {
+		m.FPR = float64(fp) / float64(fp+tn)
+	}
+	return m
+}

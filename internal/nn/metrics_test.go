@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// constNet returns a network that always predicts the same class: a
+// one-layer model with a huge bias on that logit.
+func constNet(class int) *Network {
+	net := SmallMLP(1, 2, 2, 2)
+	for _, p := range net.Params() {
+		for i := range p.W {
+			p.W[i] = 0
+		}
+	}
+	// Last parameter is the output bias.
+	params := net.Params()
+	bias := params[len(params)-1]
+	bias.W[class] = 100
+	return net
+}
+
+func TestEvaluateConfusion(t *testing.T) {
+	net := constNet(ClassMalware)
+	x := [][]float64{{0, 0}, {0, 0}, {0, 0}}
+	y := []int{ClassBenign, ClassMalware, ClassMalware}
+	m := Evaluate(net, x, y)
+	if m.N != 3 {
+		t.Errorf("N = %d, want 3", m.N)
+	}
+	if math.Abs(m.Accuracy-2.0/3.0) > 1e-12 {
+		t.Errorf("accuracy = %v, want 2/3", m.Accuracy)
+	}
+	// All benign misclassified as malware -> FPR 1; no malware missed.
+	if m.FPR != 1 || m.FNR != 0 {
+		t.Errorf("FPR=%v FNR=%v, want 1/0", m.FPR, m.FNR)
+	}
+	if m.Confusion[ClassBenign][ClassMalware] != 1 {
+		t.Errorf("confusion = %v", m.Confusion)
+	}
+}
+
+func TestEvaluateAllBenignPredictor(t *testing.T) {
+	net := constNet(ClassBenign)
+	x := [][]float64{{0, 0}, {0, 0}}
+	y := []int{ClassMalware, ClassMalware}
+	m := Evaluate(net, x, y)
+	if m.FNR != 1 {
+		t.Errorf("FNR = %v, want 1 (all malware classified benign)", m.FNR)
+	}
+	if m.FPR != 0 {
+		t.Errorf("FPR = %v, want 0 (no benign samples)", m.FPR)
+	}
+	if m.Accuracy != 0 {
+		t.Errorf("accuracy = %v, want 0", m.Accuracy)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := Evaluate(constNet(0), nil, nil)
+	if m.N != 0 || m.Accuracy != 0 {
+		t.Errorf("empty eval = %+v", m)
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Accuracy: 0.9713, FNR: 0.1126, FPR: 0.0155, N: 511}
+	s := m.String()
+	for _, want := range []string{"97.13", "11.26", "1.55", "511"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

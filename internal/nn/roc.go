@@ -1,0 +1,73 @@
+package nn
+
+import (
+	"sort"
+)
+
+// ROCPoint is one operating point of the detector: the false positive
+// and true positive rates at some score threshold.
+type ROCPoint struct {
+	FPR, TPR, Threshold float64
+}
+
+// ROC computes the receiver operating characteristic of the detector's
+// malware score (softmax probability of ClassMalware) over the given
+// samples, sorted by descending threshold, starting at (0,0) and ending
+// at (1,1).
+func ROC(net *Network, x [][]float64, y []int) []ROCPoint {
+	type scored struct {
+		score float64
+		pos   bool
+	}
+	items := make([]scored, 0, len(x))
+	var pos, neg int
+	for i := range x {
+		p := net.Probs(x[i])[ClassMalware]
+		isPos := y[i] == ClassMalware
+		if isPos {
+			pos++
+		} else {
+			neg++
+		}
+		items = append(items, scored{p, isPos})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].score > items[j].score })
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: 1}}
+	tp, fp := 0, 0
+	for i := 0; i < len(items); {
+		// Advance over ties so the curve has one point per threshold.
+		thr := items[i].score
+		for i < len(items) && items[i].score == thr {
+			if items[i].pos {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		pt := ROCPoint{Threshold: thr}
+		if pos > 0 {
+			pt.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			pt.FPR = float64(fp) / float64(neg)
+		}
+		curve = append(curve, pt)
+	}
+	return curve
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+func AUC(curve []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// DetectorAUC is shorthand: ROC + AUC in one call.
+func DetectorAUC(net *Network, x [][]float64, y []int) float64 {
+	return AUC(ROC(net, x, y))
+}

@@ -1,0 +1,50 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-disk weight format: parameter name -> values.
+type snapshot struct {
+	Params map[string][]float64
+}
+
+// Save writes the network weights to w in gob format. The architecture
+// itself is code, so only weights are persisted; Load requires a network
+// built with the same constructor.
+func (n *Network) Save(w io.Writer) error {
+	snap := snapshot{Params: make(map[string][]float64, len(n.Params()))}
+	for _, p := range n.Params() {
+		if _, dup := snap.Params[p.Name]; dup {
+			return fmt.Errorf("nn: save: duplicate parameter name %q", p.Name)
+		}
+		snap.Params[p.Name] = append([]float64(nil), p.W...)
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load restores weights previously written by Save into a network with an
+// identical architecture.
+func (n *Network) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("nn: load: %w", err)
+	}
+	for _, p := range n.Params() {
+		vals, ok := snap.Params[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: load: missing parameter %q", p.Name)
+		}
+		if len(vals) != len(p.W) {
+			return fmt.Errorf("nn: load: parameter %q has %d values, want %d",
+				p.Name, len(vals), len(p.W))
+		}
+		copy(p.W, vals)
+	}
+	return nil
+}

@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// Training errors.
+var (
+	// ErrNoTrainData indicates Fit was called with an empty dataset.
+	ErrNoTrainData = errors.New("nn: no training data")
+	// ErrLabelRange indicates a label outside [0, classes).
+	ErrLabelRange = errors.New("nn: label out of range")
+)
+
+// Optimizer updates shared weights from accumulated gradients.
+type Optimizer interface {
+	// Step applies the gradients in params (scaled by 1/scale) to the
+	// weights and clears nothing; callers zero gradients themselves.
+	Step(params []*Param, scale float64)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vel      [][]float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []*Param, scale float64) {
+	if s.vel == nil {
+		s.vel = make([][]float64, len(params))
+		for i, p := range params {
+			s.vel[i] = make([]float64, len(p.W))
+		}
+	}
+	inv := 1 / scale
+	for i, p := range params {
+		v := s.vel[i]
+		for j := range p.W {
+			g := p.G[j] * inv
+			v[j] = s.Momentum*v[j] - s.LR*g
+			p.W[j] += v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with standard defaults.
+type Adam struct {
+	LR    float64 // 0 means 1e-3
+	Beta1 float64 // 0 means 0.9
+	Beta2 float64 // 0 means 0.999
+	Eps   float64 // 0 means 1e-8
+
+	t    int
+	m, v [][]float64
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []*Param, scale float64) {
+	lr, b1, b2, eps := a.LR, a.Beta1, a.Beta2, a.Eps
+	if lr == 0 {
+		lr = 1e-3
+	}
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.W))
+			a.v[i] = make([]float64, len(p.W))
+		}
+	}
+	a.t++
+	c1 := 1 - math.Pow(b1, float64(a.t))
+	c2 := 1 - math.Pow(b2, float64(a.t))
+	inv := 1 / scale
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j] * inv
+			m[j] = b1*m[j] + (1-b1)*g
+			v[j] = b2*v[j] + (1-b2)*g*g
+			p.W[j] -= lr * (m[j] / c1) / (math.Sqrt(v[j]/c2) + eps)
+		}
+	}
+}
+
+// Trainer fits a network with mini-batch gradient descent, fanning samples
+// within each batch across a fixed-size worker pool of weight-sharing
+// network clones. Results are deterministic for a fixed Seed and Workers.
+type Trainer struct {
+	// Epochs is the maximum number of passes (paper: 200).
+	Epochs int
+	// BatchSize is the mini-batch size (paper: 100).
+	BatchSize int
+	// Optimizer defaults to Adam with lr 1e-3.
+	Optimizer Optimizer
+	// Seed drives shuffling and dropout.
+	Seed int64
+	// Workers is the data-parallel width; 0 means GOMAXPROCS.
+	Workers int
+	// EarlyStopLoss stops training once the epoch mean loss stays below
+	// this value for Patience consecutive epochs. 0 disables.
+	EarlyStopLoss float64
+	// Patience is the consecutive-epoch requirement for early stopping;
+	// 0 means 3.
+	Patience int
+	// Verbose, when non-nil, receives one progress line per epoch.
+	Verbose io.Writer
+	// ClassWeights, when non-nil, scales each sample's loss and gradient
+	// by ClassWeights[label] — the standard lever for the class
+	// imbalance the paper's §IV-C1 discusses (89% malware vs 11%
+	// benign). Must have one entry per class.
+	ClassWeights []float64
+	// Augment, when non-nil, may replace a training sample just before
+	// it is processed (Madry-style online adversarial training). It
+	// receives a scratch network view (weights shared with the model
+	// being trained, private caches and gradients — safe for crafting),
+	// the sample's dataset index, and the sample; returning nil keeps
+	// the original. It must be safe for concurrent calls on distinct
+	// scratch networks.
+	Augment func(scratch *Network, idx int, x []float64, label int) []float64
+}
+
+// History records per-epoch training statistics.
+type History struct {
+	Loss     []float64
+	Accuracy []float64
+	Stopped  int // epoch at which early stopping triggered; 0 if none
+}
+
+// Fit trains net on (X, y). Labels must be in [0, net.NumClasses()).
+func (t *Trainer) Fit(net *Network, x [][]float64, y []int) (*History, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("%w: %d samples, %d labels", ErrNoTrainData, len(x), len(y))
+	}
+	for i, label := range y {
+		if label < 0 || label >= net.NumClasses() {
+			return nil, fmt.Errorf("%w: sample %d has label %d", ErrLabelRange, i, label)
+		}
+	}
+	if t.ClassWeights != nil && len(t.ClassWeights) < net.NumClasses() {
+		return nil, fmt.Errorf("nn: %d class weights for %d classes",
+			len(t.ClassWeights), net.NumClasses())
+	}
+	epochs := t.Epochs
+	if epochs <= 0 {
+		epochs = 200
+	}
+	batch := t.BatchSize
+	if batch <= 0 {
+		batch = 100
+	}
+	opt := t.Optimizer
+	if opt == nil {
+		opt = &Adam{}
+	}
+	workers := t.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > batch {
+		workers = batch
+	}
+	patience := t.Patience
+	if patience <= 0 {
+		patience = 3
+	}
+
+	rng := rand.New(rand.NewSource(t.Seed))
+	clones := make([]*Network, workers)
+	var scratch []*Network
+	if t.Augment != nil {
+		scratch = make([]*Network, workers)
+	}
+	for w := range clones {
+		clones[w] = net.CloneShared()
+		clones[w].Reseed(t.Seed + int64(w+1)*104729)
+		if scratch != nil {
+			// A separate view per worker so crafting cannot clobber the
+			// gradient accumulation in the training clone.
+			scratch[w] = net.CloneShared()
+		}
+	}
+	params := net.Params()
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+
+	hist := &History{}
+	calm := 0
+	for epoch := 1; epoch <= epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var epochLoss float64
+		var correct int
+		for start := 0; start < len(idx); start += batch {
+			end := start + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			chunk := idx[start:end]
+			for _, c := range clones {
+				c.ZeroGrad()
+			}
+			losses := make([]float64, workers)
+			hits := make([]int, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					c := clones[w]
+					for k := w; k < len(chunk); k += workers {
+						i := chunk[k]
+						xi := x[i]
+						if t.Augment != nil {
+							if ax := t.Augment(scratch[w], i, xi, y[i]); ax != nil {
+								xi = ax
+							}
+						}
+						logits := c.Forward(xi, true)
+						loss, dLogits := SoftmaxCE(logits, y[i])
+						if t.ClassWeights != nil {
+							cw := t.ClassWeights[y[i]]
+							loss *= cw
+							for j := range dLogits {
+								dLogits[j] *= cw
+							}
+						}
+						losses[w] += loss
+						if Argmax(logits) == y[i] {
+							hits[w]++
+						}
+						c.Backward(dLogits)
+					}
+				}(w)
+			}
+			wg.Wait()
+			// Reduce clone gradients into the master parameters in a
+			// fixed order for determinism.
+			for pi, p := range params {
+				for w := 0; w < workers; w++ {
+					cg := clones[w].Params()[pi].G
+					for j := range p.G {
+						p.G[j] += cg[j]
+					}
+				}
+			}
+			opt.Step(params, float64(len(chunk)))
+			net.ZeroGrad()
+			for w := 0; w < workers; w++ {
+				epochLoss += losses[w]
+				correct += hits[w]
+			}
+		}
+		meanLoss := epochLoss / float64(len(x))
+		acc := float64(correct) / float64(len(x))
+		hist.Loss = append(hist.Loss, meanLoss)
+		hist.Accuracy = append(hist.Accuracy, acc)
+		if t.Verbose != nil {
+			fmt.Fprintf(t.Verbose, "epoch %3d/%d loss=%.5f acc=%.4f\n", epoch, epochs, meanLoss, acc)
+		}
+		if t.EarlyStopLoss > 0 && meanLoss < t.EarlyStopLoss {
+			calm++
+			if calm >= patience {
+				hist.Stopped = epoch
+				break
+			}
+		} else {
+			calm = 0
+		}
+	}
+	return hist, nil
+}

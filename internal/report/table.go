@@ -1,0 +1,86 @@
+// Package report renders ASCII tables matching the layouts of the paper's
+// tables, so every command and bench prints directly comparable output.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple fixed-layout ASCII table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// Add appends one row; cells are formatted with fmt.Sprint.
+func (t *Table) Add(cells ...any) *Table {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+	return t
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func() {
+		for _, w := range widths {
+			sb.WriteByte('+')
+			sb.WriteString(strings.Repeat("-", w+2))
+		}
+		sb.WriteString("+\n")
+	}
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&sb, "| %-*s ", w, c)
+		}
+		sb.WriteString("|\n")
+	}
+	line()
+	writeRow(t.Headers)
+	line()
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	line()
+	return sb.String()
+}
+
+// Pct formats a ratio as a percentage with two decimals, e.g. "97.13".
+func Pct(x float64) string { return fmt.Sprintf("%.2f", x*100) }
+
+// Ms formats a duration in milliseconds with two decimals.
+func Ms(d interface{ Seconds() float64 }) string {
+	return fmt.Sprintf("%.2f", d.Seconds()*1000)
+}
+
+// F2 formats a float with two decimals.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }

@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("TITLE", "A", "Long header").
+		Add("x", 1).
+		Add("longer cell", 2.5)
+	s := tbl.String()
+	if !strings.HasPrefix(s, "TITLE\n") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title + border + header + border + 2 rows + border = 7 lines.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d, want 7:\n%s", len(lines), s)
+	}
+	// All bordered rows share the same width.
+	width := len(lines[1])
+	for i := 1; i < len(lines); i++ {
+		if len(lines[i]) != width {
+			t.Errorf("line %d width %d != %d:\n%s", i, len(lines[i]), width, s)
+		}
+	}
+	for _, want := range []string{"| A ", "Long header", "longer cell", "| 2.5 "} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	s := New("", "H").Add("v").String()
+	if strings.HasPrefix(s, "\n") {
+		t.Error("empty title should not add a blank line")
+	}
+	if !strings.Contains(s, "| H ") {
+		t.Errorf("missing header:\n%s", s)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	// Rows with fewer cells than headers pad with empty cells.
+	s := New("", "A", "B").Add("only").String()
+	if !strings.Contains(s, "| only |") {
+		t.Errorf("short row mishandled:\n%s", s)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(0.9713); got != "97.13" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(5.424); got != "5.42" {
+		t.Errorf("F2 = %q", got)
+	}
+	if got := Ms(25300 * time.Microsecond); got != "25.30" {
+		t.Errorf("Ms = %q", got)
+	}
+}

@@ -1,0 +1,374 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"advmal/internal/ir"
+)
+
+// Syscall identifiers used by generated programs. Benign utilities log and
+// touch configuration; malware families scan, beacon to C&C, and flood.
+const (
+	sysLog     = 1
+	sysReadCfg = 2
+	sysWriteIO = 3
+	sysScan    = 10
+	sysInfect  = 11
+	sysCnC     = 12
+	sysFlood   = 13
+	sysDNS     = 14
+)
+
+// Register conventions for generated code: r0..r3 inputs (read-mostly),
+// r4 accumulator, r5 outer loop counter, r6 inner loop counter, r7 temp.
+// Every scratch register is written before it is read, and every
+// conditional jump is preceded by a cmp in the same motif, so prepending
+// code that clobbers scratch state (as GEA does) cannot change behaviour.
+const (
+	regAcc   = 4
+	regOuter = 5
+	regInner = 6
+	regTmp   = 7
+)
+
+// gen carries the state of one program's generation.
+type gen struct {
+	a      *ir.Asm
+	rng    *rand.Rand
+	fam    Family
+	labels int
+	blocks int // running estimate of basic blocks emitted
+}
+
+func (g *gen) lab() string {
+	g.labels++
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *gen) inReg() int32 { return int32(g.rng.Intn(4)) }
+
+func (g *gen) imm(n int) int32 { return int32(g.rng.Intn(n)) }
+
+// arith emits k straight-line instructions that only touch scratch state.
+func (g *gen) arith(k int) {
+	for i := 0; i < k; i++ {
+		switch g.rng.Intn(7) {
+		case 0:
+			g.a.Emit(ir.AddI, regAcc, g.imm(64))
+		case 1:
+			g.a.Emit(ir.SubI, regAcc, g.imm(32))
+		case 2:
+			g.a.Emit(ir.MulI, regAcc, 1+g.imm(3))
+		case 3:
+			g.a.Emit(ir.MovI, regTmp, g.imm(256))
+		case 4:
+			g.a.Emit(ir.AddR, regAcc, regTmp)
+		case 5:
+			g.a.Emit(ir.XorR, regAcc, regTmp)
+		case 6:
+			g.a.Emit(ir.Store, g.imm(ir.MemSize), regAcc)
+		}
+	}
+}
+
+// sys emits an observable syscall.
+func (g *gen) sys(id int32) { g.a.Emit(ir.Sys, id) }
+
+// diamond emits an if/else: ~3 blocks, 4 edges.
+func (g *gen) diamond() {
+	lElse, lEnd := g.lab(), g.lab()
+	g.a.Emit(ir.CmpI, g.inReg(), g.imm(16))
+	g.a.Jump(ir.Jle, lElse)
+	g.arith(1 + g.rng.Intn(3))
+	g.a.Jump(ir.Jmp, lEnd)
+	g.a.Label(lElse)
+	g.arith(1 + g.rng.Intn(3))
+	g.a.Label(lEnd)
+	g.blocks += 3
+}
+
+// earlyExit emits an error-return path: ~2 blocks.
+func (g *gen) earlyExit() {
+	lOk := g.lab()
+	g.a.Emit(ir.CmpI, g.inReg(), 77+g.imm(100))
+	g.a.Jump(ir.Jne, lOk)
+	g.a.Emit(ir.MovI, regAcc, -1)
+	g.a.Emit(ir.MovR, 0, regAcc)
+	g.a.Emit(ir.Ret)
+	g.a.Label(lOk)
+	g.blocks += 2
+}
+
+// loopSimple emits a bounded counting loop with a straight-line body:
+// ~2 blocks including a self edge.
+func (g *gen) loopSimple(counter int32, iters int32, body func()) {
+	lHead := g.lab()
+	g.a.Emit(ir.MovI, counter, iters)
+	g.a.Label(lHead)
+	body()
+	g.a.Emit(ir.SubI, counter, 1)
+	g.a.Emit(ir.CmpI, counter, 0)
+	g.a.Jump(ir.Jgt, lHead)
+	g.blocks += 2
+}
+
+// nestedLoop emits two nested bounded loops: ~3 blocks, 5 edges.
+func (g *gen) nestedLoop(innerBody func()) {
+	g.loopSimple(regOuter, 2+g.imm(5), func() {
+		g.loopSimple(regInner, 2+g.imm(6), innerBody)
+	})
+	g.blocks++ // outer decrement block
+}
+
+// dispatchSeq emits a sequential switch without back edges (benign
+// command-line handling): ~2k+2 blocks.
+func (g *gen) dispatchSeq(k int) {
+	lEnd := g.lab()
+	cases := make([]string, k)
+	for i := range cases {
+		cases[i] = g.lab()
+	}
+	sel := g.inReg()
+	for i := 0; i < k; i++ {
+		g.a.Emit(ir.CmpI, sel, int32(i))
+		g.a.Jump(ir.Jeq, cases[i])
+	}
+	g.arith(1)
+	g.a.Jump(ir.Jmp, lEnd)
+	for i := 0; i < k; i++ {
+		g.a.Label(cases[i])
+		g.arith(1 + g.rng.Intn(2))
+		g.a.Jump(ir.Jmp, lEnd)
+	}
+	g.a.Label(lEnd)
+	g.blocks += 2*k + 2
+}
+
+// cmdLoop emits a C&C command loop: a dispatch whose cases all jump back
+// through a bounded decrement block — the back edges give malware CFGs
+// their higher density. ~2k+3 blocks.
+func (g *gen) cmdLoop(k int) {
+	lHead, lDec := g.lab(), g.lab()
+	cases := make([]string, k)
+	for i := range cases {
+		cases[i] = g.lab()
+	}
+	g.a.Emit(ir.MovI, regOuter, 3+g.imm(5))
+	g.a.Label(lHead)
+	g.sys(sysCnC)
+	sel := g.inReg()
+	for i := 0; i < k; i++ {
+		g.a.Emit(ir.CmpI, sel, int32(i))
+		g.a.Jump(ir.Jeq, cases[i])
+	}
+	g.a.Jump(ir.Jmp, lDec)
+	for i := 0; i < k; i++ {
+		g.a.Label(cases[i])
+		g.arith(1 + g.rng.Intn(2))
+		if g.rng.Float64() < 0.5 {
+			g.sys(sysFlood)
+		}
+		g.a.Jump(ir.Jmp, lDec)
+	}
+	g.a.Label(lDec)
+	g.a.Emit(ir.SubI, regOuter, 1)
+	g.a.Emit(ir.CmpI, regOuter, 0)
+	g.a.Jump(ir.Jgt, lHead)
+	g.blocks += 2*k + 3
+}
+
+// scannerLoop emits the telnet-scanner motif: nested loops, a guard
+// diamond, and scan/infect syscalls. ~5 blocks.
+func (g *gen) scannerLoop() {
+	g.loopSimple(regOuter, 2+g.imm(4), func() {
+		g.loopSimple(regInner, 2+g.imm(5), func() {
+			g.sys(sysScan)
+			lSkip := g.lab()
+			g.a.Emit(ir.CmpI, g.inReg(), g.imm(8))
+			g.a.Jump(ir.Jle, lSkip)
+			g.sys(sysInfect)
+			g.arith(1)
+			g.a.Label(lSkip)
+			g.blocks += 2
+		})
+		g.blocks++
+	})
+}
+
+// floodLoop emits a tight DDoS payload loop. ~2 blocks.
+func (g *gen) floodLoop() {
+	g.loopSimple(regOuter, 3+g.imm(5), func() {
+		g.a.Emit(ir.MovI, regTmp, g.imm(256))
+		g.a.Emit(ir.XorR, regAcc, regTmp)
+		g.sys(sysFlood)
+		if g.rng.Float64() < 0.4 {
+			g.sys(sysDNS)
+		}
+	})
+}
+
+// beacon emits a C&C heartbeat loop containing a diamond. ~4 blocks.
+func (g *gen) beacon() {
+	g.loopSimple(regOuter, 2+g.imm(4), func() {
+		g.sys(sysCnC)
+		g.diamond()
+	})
+}
+
+// decoderLoop emits the xor payload decoder. ~2 blocks.
+func (g *gen) decoderLoop() {
+	addr := g.imm(ir.MemSize)
+	g.a.Emit(ir.MovI, regAcc, 0x5d+g.imm(64))
+	g.loopSimple(regOuter, 4+g.imm(4), func() {
+		g.a.Emit(ir.Load, regTmp, addr)
+		g.a.Emit(ir.XorR, regTmp, regAcc)
+		g.a.Emit(ir.Store, addr, regTmp)
+	})
+}
+
+// guardSkip wraps inner in a conditional forward skip: +1 block, +2 edges.
+func (g *gen) guardSkip(inner func()) {
+	lSkip := g.lab()
+	g.a.Emit(ir.CmpI, g.inReg(), 24+g.imm(64))
+	g.a.Jump(ir.Jgt, lSkip)
+	inner()
+	g.a.Label(lSkip)
+	g.blocks++
+}
+
+// readCfgLoop is the benign configuration-read loop. ~2 blocks.
+func (g *gen) readCfgLoop() {
+	g.loopSimple(regOuter, 2+g.imm(6), func() {
+		g.sys(sysReadCfg)
+		g.a.Emit(ir.Load, regTmp, g.imm(ir.MemSize))
+		g.a.Emit(ir.AddR, regAcc, regTmp)
+	})
+}
+
+// motifTable returns the weighted motif set of a family.
+func (g *gen) motifTable() []weighted {
+	d := func() { g.diamond() }
+	switch g.fam {
+	case Benign:
+		// Tree-shaped control flow: branches, sequential dispatch, early
+		// exits, few loops -> sparse CFGs with long chains.
+		return []weighted{
+			{0.34, d},
+			{0.22, func() { g.dispatchSeq(2 + g.rng.Intn(6)) }},
+			{0.06, func() { g.readCfgLoop() }},
+			{0.14, func() { g.earlyExit() }},
+			{0.04, func() { g.loopSimple(regOuter, 2+g.imm(6), func() { g.arith(2) }) }},
+			{0.14, func() { g.guardSkip(d) }},
+			{0.06, func() { g.arith(3 + g.rng.Intn(4)); g.sys(sysLog) }},
+		}
+	case Mirai:
+		return []weighted{
+			{0.28, func() { g.scannerLoop() }},
+			{0.28, func() { g.cmdLoop(3 + g.rng.Intn(5)) }},
+			{0.16, func() { g.floodLoop() }},
+			{0.18, func() { g.beacon() }},
+			{0.05, d},
+			{0.05, func() { g.guardSkip(func() { g.floodLoop() }) }},
+		}
+	case Gafgyt:
+		return []weighted{
+			{0.38, func() { g.cmdLoop(3 + g.rng.Intn(5)) }},
+			{0.18, func() { g.scannerLoop() }},
+			{0.16, func() { g.floodLoop() }},
+			{0.13, func() { g.beacon() }},
+			{0.05, d},
+			{0.10, func() { g.loopSimple(regOuter, 2+g.imm(5), func() { g.arith(2) }) }},
+		}
+	case Tsunami:
+		return []weighted{
+			{0.42, func() { g.cmdLoop(3 + g.rng.Intn(6)) }},
+			{0.22, func() { g.beacon() }},
+			{0.16, func() { g.floodLoop() }},
+			{0.05, d},
+			{0.15, func() { g.nestedLoop(func() { g.arith(1); g.sys(sysFlood) }) }},
+		}
+	case Dofloo:
+		return []weighted{
+			{0.36, func() { g.floodLoop() }},
+			{0.24, func() { g.nestedLoop(func() { g.sys(sysFlood) }) }},
+			{0.18, func() { g.beacon() }},
+			{0.06, d},
+			{0.16, func() { g.cmdLoop(2 + g.rng.Intn(4)) }},
+		}
+	case XorDDoS:
+		return []weighted{
+			{0.28, func() { g.decoderLoop() }},
+			{0.20, func() { g.floodLoop() }},
+			{0.24, func() { g.cmdLoop(3 + g.rng.Intn(4)) }},
+			{0.08, func() { g.guardSkip(func() { g.decoderLoop() }) }},
+			{0.05, d},
+			{0.15, func() { g.nestedLoop(func() { g.arith(1) }) }},
+		}
+	default:
+		return []weighted{{1, d}}
+	}
+}
+
+type weighted struct {
+	w float64
+	f func()
+}
+
+func (g *gen) pickMotif() func() {
+	table := g.motifTable()
+	var total float64
+	for _, m := range table {
+		total += m.w
+	}
+	r := g.rng.Float64() * total
+	for _, m := range table {
+		r -= m.w
+		if r <= 0 {
+			return m.f
+		}
+	}
+	return table[len(table)-1].f
+}
+
+// prologue writes the scratch registers so no later read precedes a write
+// (the property GEA's code injection depends on) and emits a family
+// signature.
+func (g *gen) prologue() {
+	g.a.Emit(ir.MovI, regAcc, int32(g.fam)*17)
+	g.a.Emit(ir.MovI, regTmp, 0)
+	switch g.fam {
+	case Benign:
+		g.sys(sysLog)
+	case Mirai:
+		g.a.Emit(ir.MovI, regAcc, 0x4d49) // "MI"
+	case Gafgyt, Tsunami:
+		g.sys(sysCnC)
+	case XorDDoS:
+		g.a.Emit(ir.MovI, regAcc, 0x5d)
+	}
+}
+
+// buildProgram assembles one program of family fam targeting a
+// family-conditional CFG size.
+func buildProgram(rng *rand.Rand, fam Family, name string) (*ir.Program, error) {
+	target := targetNodes(rng, fam)
+	g := &gen{a: ir.NewAsm(name), rng: rng, fam: fam, blocks: 1}
+	g.prologue()
+	switch {
+	case target <= 1:
+		g.arith(2 + rng.Intn(4))
+	case target == 2:
+		lRet := g.lab()
+		g.arith(1 + rng.Intn(3))
+		g.a.Jump(ir.Jmp, lRet)
+		g.a.Label(lRet)
+	default:
+		for first := true; first || g.blocks < target-2; first = false {
+			g.pickMotif()()
+		}
+	}
+	g.a.Emit(ir.MovR, 0, regAcc)
+	g.a.Emit(ir.Ret)
+	return g.a.Build()
+}

@@ -1,0 +1,191 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"advmal/internal/ir"
+)
+
+// Obfuscation implements the classic CFG-manipulating transformations the
+// paper's §II-A attributes to malware authors (function obfuscation,
+// control-flow obfuscation). Unlike packing, every pass here is
+// *semantics-preserving*: the observable trace is unchanged (verifiable
+// with the interpreter), while the CFG — and therefore the 23 features —
+// shifts. GEA is the targeted version of this idea; these passes are the
+// untargeted counterparts.
+type Obfuscation int
+
+// Obfuscation passes.
+const (
+	// ObfSplitBlocks breaks straight-line runs with unconditional jumps
+	// to the next instruction, multiplying basic blocks without changing
+	// behaviour (trampoline splitting).
+	ObfSplitBlocks Obfuscation = iota + 1
+	// ObfOpaqueJunk inserts always-false conditional branches to junk
+	// blocks (opaque predicates), adding nodes, edges, and branching.
+	ObfOpaqueJunk
+	// ObfJumpChains replaces direct jumps with chains of trampoline
+	// jumps, lengthening paths.
+	ObfJumpChains
+)
+
+var obfNames = map[Obfuscation]string{
+	ObfSplitBlocks: "split-blocks",
+	ObfOpaqueJunk:  "opaque-junk",
+	ObfJumpChains:  "jump-chains",
+}
+
+// String returns the pass name.
+func (o Obfuscation) String() string {
+	if s, ok := obfNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Obfuscation(%d)", int(o))
+}
+
+// Obfuscations lists all passes in deterministic order.
+func Obfuscations() []Obfuscation {
+	return []Obfuscation{ObfSplitBlocks, ObfOpaqueJunk, ObfJumpChains}
+}
+
+// Obfuscate applies the pass to a copy of p with the given intensity
+// (roughly: the fraction of eligible sites transformed, in (0, 1]) using
+// deterministic randomness from seed. The result validates and is
+// observationally equivalent to p.
+func Obfuscate(p *ir.Program, pass Obfuscation, intensity float64, seed int64) (*ir.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: obfuscate: %w", err)
+	}
+	if intensity <= 0 || intensity > 1 {
+		return nil, fmt.Errorf("synth: obfuscate: intensity %v not in (0, 1]", intensity)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out *ir.Program
+	var err error
+	switch pass {
+	case ObfSplitBlocks:
+		out, err = splitBlocks(p, intensity, rng)
+	case ObfOpaqueJunk:
+		out, err = opaqueJunk(p, intensity, rng)
+	case ObfJumpChains:
+		out, err = jumpChains(p, intensity, rng)
+	default:
+		return nil, fmt.Errorf("synth: unknown obfuscation %v", pass)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Name = fmt.Sprintf("%s(%s)", pass, p.Name)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: obfuscate %v: %w", pass, err)
+	}
+	return out, nil
+}
+
+// rebuild copies p inserting extra instructions: insertAfter[i] gives the
+// instructions to append immediately after original instruction i. Jump
+// targets are remapped to the new location of their original target.
+func rebuild(p *ir.Program, insertAfter map[int][]ir.Instr, insertBefore map[int][]ir.Instr) *ir.Program {
+	newIdx := make([]int32, len(p.Code)+1)
+	var code []ir.Instr
+	for i, ins := range p.Code {
+		code = append(code, insertBefore[i]...)
+		newIdx[i] = int32(len(code))
+		code = append(code, ins)
+		code = append(code, insertAfter[i]...)
+	}
+	newIdx[len(p.Code)] = int32(len(code))
+	// Remap jump targets (they index original instructions).
+	for i := range code {
+		if code[i].Op.IsJump() && code[i].A < 0 {
+			// Negative marker: -1-origTarget encodes a target awaiting
+			// remap; used by passes that add jumps to original targets.
+			code[i].A = newIdx[-1-code[i].A]
+		}
+	}
+	// The original instructions' own targets:
+	for i, ins := range p.Code {
+		if ins.Op.IsJump() {
+			code[newIdx[i]].A = newIdx[ins.A]
+		}
+	}
+	return &ir.Program{Name: p.Name, Code: code}
+}
+
+// splitBlocks inserts `jmp <next>` after eligible instructions, cutting
+// blocks in two.
+func splitBlocks(p *ir.Program, intensity float64, rng *rand.Rand) (*ir.Program, error) {
+	after := map[int][]ir.Instr{}
+	for i, ins := range p.Code {
+		if ins.Op.IsJump() || ins.Op == ir.Ret || i+1 >= len(p.Code) {
+			continue
+		}
+		if rng.Float64() >= intensity {
+			continue
+		}
+		// jmp to the instruction that originally followed i; encoded
+		// with the negative marker for rebuild to remap.
+		after[i] = []ir.Instr{{Op: ir.Jmp, A: int32(-1 - (i + 1))}}
+	}
+	return rebuild(p, after, nil), nil
+}
+
+// opaqueJunk inserts dead junk blocks wired into the CFG: at selected
+// block boundaries the executed path takes a single `jmp` straight to
+// the original instruction, skipping a junk block that itself branches
+// back into the real code. The junk never executes (so it may write
+// anything), but the disassembler — which cannot prove the skip —
+// reports its nodes and edges, exactly how opaque-predicate obfuscation
+// looks to static CFG extraction.
+//
+//	jmp <orig>              ; the only executed inserted instruction
+//	junk: movi r4, X        ; dead
+//	      cmpi r4, Y        ; dead
+//	      jle <orig>        ; dead branch: two CFG edges back into code
+func opaqueJunk(p *ir.Program, intensity float64, rng *rand.Rand) (*ir.Program, error) {
+	before := map[int][]ir.Instr{}
+	for i := range p.Code {
+		// Insert only at block starts (instruction 0, or after a jump
+		// or ret) so the executed `jmp` cannot cut a cmp/jcc pair.
+		if i > 0 && !p.Code[i-1].Op.IsJump() && p.Code[i-1].Op != ir.Ret {
+			continue
+		}
+		if rng.Float64() >= intensity {
+			continue
+		}
+		target := int32(-1 - i) // remapped by rebuild to instruction i
+		before[i] = []ir.Instr{
+			{Op: ir.Jmp, A: target},
+			{Op: ir.MovI, A: 4, B: int32(rng.Intn(256))},
+			{Op: ir.CmpI, A: 4, B: int32(rng.Intn(64))},
+			{Op: ir.Jle, A: target},
+		}
+	}
+	return rebuild(p, nil, before), nil
+}
+
+// jumpChains reroutes each selected jump (conditional or not) through a
+// chain of two trampoline jumps appended at the end of the program,
+// lengthening CFG paths without changing behaviour.
+func jumpChains(p *ir.Program, intensity float64, rng *rand.Rand) (*ir.Program, error) {
+	out := p.Clone()
+	limit := len(out.Code) // only original jumps, not added trampolines
+	for i := 0; i < limit; i++ {
+		if !out.Code[i].Op.IsJump() {
+			continue
+		}
+		if rng.Float64() >= intensity {
+			continue
+		}
+		target := out.Code[i].A
+		// tramp1: jmp tramp2 ; tramp2: jmp target.
+		t1 := int32(len(out.Code))
+		out.Code = append(out.Code,
+			ir.Instr{Op: ir.Jmp, A: t1 + 1},
+			ir.Instr{Op: ir.Jmp, A: target},
+		)
+		out.Code[i].A = t1
+	}
+	return out, nil
+}

@@ -1,0 +1,152 @@
+package synth
+
+import (
+	"testing"
+
+	"advmal/internal/ir"
+)
+
+func obfCorpus(t *testing.T) []*Sample {
+	t.Helper()
+	samples, err := Generate(Config{Seed: 31, NumBenign: 6, NumMal: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// TestObfuscationPreservesBehaviour is the central property: every pass
+// at every intensity leaves the observable trace untouched.
+func TestObfuscationPreservesBehaviour(t *testing.T) {
+	it := &ir.Interp{}
+	for _, s := range obfCorpus(t) {
+		for _, pass := range Obfuscations() {
+			for _, intensity := range []float64{0.3, 1.0} {
+				obf, err := Obfuscate(s.Prog, pass, intensity, 7)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", pass, s.Name, err)
+				}
+				for _, in := range ProbeInputs() {
+					want, err := it.Run(s.Prog, in...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := it.Run(obf, in...)
+					if err != nil {
+						t.Fatalf("%s(%s) crashed: %v", pass, s.Name, err)
+					}
+					if !want.Equal(got) {
+						t.Fatalf("%s changed %s's behaviour on %v", pass, s.Name, in)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestObfuscationChangesCFG: the point of obfuscation is to move the
+// graph features; every pass must alter the CFG's node or edge count on
+// non-trivial programs.
+func TestObfuscationChangesCFG(t *testing.T) {
+	for _, s := range obfCorpus(t) {
+		if s.Nodes < 5 {
+			continue
+		}
+		base, err := ir.Disassemble(s.Prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pass := range Obfuscations() {
+			obf, err := Obfuscate(s.Prog, pass, 1.0, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := ir.Disassemble(obf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.G().N() == base.G().N() && cfg.G().M() == base.G().M() {
+				t.Errorf("%s left %s's CFG unchanged (%d/%d)",
+					pass, s.Name, base.G().N(), base.G().M())
+			}
+		}
+	}
+}
+
+func TestObfuscateSplitBlocksGrowsBlocks(t *testing.T) {
+	p, err := ir.NewAsm("chain").
+		Emit(ir.MovI, 4, 1).
+		Emit(ir.AddI, 4, 2).
+		Emit(ir.AddI, 4, 3).
+		Emit(ir.MovR, 0, 4).
+		Emit(ir.Ret).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obf, err := Obfuscate(p, ObfSplitBlocks, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := ir.Disassemble(p)
+	cfg, err := ir.Disassemble(obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.G().N() <= base.G().N() {
+		t.Errorf("split-blocks: %d -> %d blocks, want growth", base.G().N(), cfg.G().N())
+	}
+	it := &ir.Interp{}
+	tr, err := it.Run(obf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Result != 6 {
+		t.Errorf("result = %d, want 6", tr.Result)
+	}
+}
+
+func TestObfuscateDeterministic(t *testing.T) {
+	s := obfCorpus(t)[0]
+	a, err := Obfuscate(s.Prog, ObfOpaqueJunk, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Obfuscate(s.Prog, ObfOpaqueJunk, 0.5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Code) != len(b.Code) {
+		t.Fatal("same seed produced different obfuscations")
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatal("same seed produced different instructions")
+		}
+	}
+}
+
+func TestObfuscateErrors(t *testing.T) {
+	valid := obfCorpus(t)[0].Prog
+	if _, err := Obfuscate(&ir.Program{}, ObfSplitBlocks, 0.5, 1); err == nil {
+		t.Error("accepted invalid program")
+	}
+	if _, err := Obfuscate(valid, ObfSplitBlocks, 0, 1); err == nil {
+		t.Error("accepted zero intensity")
+	}
+	if _, err := Obfuscate(valid, ObfSplitBlocks, 1.5, 1); err == nil {
+		t.Error("accepted intensity > 1")
+	}
+	if _, err := Obfuscate(valid, Obfuscation(99), 0.5, 1); err == nil {
+		t.Error("accepted unknown pass")
+	}
+}
+
+func TestObfuscationString(t *testing.T) {
+	if ObfSplitBlocks.String() != "split-blocks" {
+		t.Errorf("name = %q", ObfSplitBlocks)
+	}
+	if Obfuscation(99).String() != "Obfuscation(99)" {
+		t.Errorf("unknown = %q", Obfuscation(99))
+	}
+}

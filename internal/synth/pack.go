@@ -1,0 +1,52 @@
+package synth
+
+import (
+	"fmt"
+
+	"advmal/internal/ir"
+)
+
+// Pack simulates UPX-style executable packing at the CFG level, the
+// evasion the paper's §VI discusses: a packed binary's static CFG shows
+// only the unpacker stub — a tight xor-decode loop followed by a jump
+// into (here: a syscall standing for) the decompressed payload — so the
+// 23 extracted features describe the stub, not the malware.
+//
+// The returned program is a *static artefact*: like real packed malware
+// under static analysis, its observable behaviour is NOT the original's
+// (the original only exists after unpacking, which static CFG extraction
+// never sees). The simulation stores the original's instruction words
+// into data memory so the stub's decode loop length scales with payload
+// size, mirroring how real packers trade CFG size for payload bytes.
+func Pack(p *ir.Program) (*ir.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: pack: %w", err)
+	}
+	const key = 0x5d
+	payloadWords := len(p.Code)
+	if payloadWords > ir.MemSize {
+		payloadWords = ir.MemSize
+	}
+	a := ir.NewAsm("upx(" + p.Name + ")")
+	// Unpacker stub: decode payloadWords memory cells with a rolling key,
+	// then "transfer control" to the unpacked image (sys 15 stands for
+	// the exec of the unpacked payload).
+	a.Emit(ir.MovI, 4, key)
+	a.Emit(ir.MovI, 5, int32(payloadWords))
+	a.Emit(ir.MovI, 6, 0)
+	a.Label("decode")
+	a.Emit(ir.Load, 7, 0) // representative cell; real packers stream addresses
+	a.Emit(ir.XorR, 7, 4)
+	a.Emit(ir.Store, 0, 7)
+	a.Emit(ir.AddI, 6, 1)
+	a.Emit(ir.SubI, 5, 1)
+	a.Emit(ir.CmpI, 5, 0)
+	a.Jump(ir.Jgt, "decode")
+	a.Emit(ir.Sys, 15) // jump into unpacked payload
+	a.Emit(ir.Ret)
+	packed, err := a.Build()
+	if err != nil {
+		return nil, fmt.Errorf("synth: pack: %w", err)
+	}
+	return packed, nil
+}

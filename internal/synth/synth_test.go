@@ -1,0 +1,194 @@
+package synth
+
+import (
+	"sort"
+	"testing"
+
+	"advmal/internal/ir"
+)
+
+// smallCorpus is shared across tests in this package; generation is
+// deterministic so sharing is safe.
+func smallCorpus(t *testing.T) []*Sample {
+	t.Helper()
+	samples, err := Generate(Config{Seed: 1, NumBenign: 60, NumMal: 150})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return samples
+}
+
+func TestGenerateCounts(t *testing.T) {
+	samples := smallCorpus(t)
+	if len(samples) != 210 {
+		t.Fatalf("generated %d samples, want 210", len(samples))
+	}
+	benign, mal := 0, 0
+	for _, s := range samples {
+		if s.Malicious {
+			mal++
+		} else {
+			benign++
+		}
+	}
+	if benign != 60 || mal != 150 {
+		t.Errorf("class counts %d/%d, want 60/150", benign, mal)
+	}
+}
+
+func TestGenerateNegativeCounts(t *testing.T) {
+	if _, err := Generate(Config{Seed: 1, NumBenign: -1}); err == nil {
+		t.Error("Generate accepted negative counts")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 7, NumBenign: 10, NumMal: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 7, NumBenign: 10, NumMal: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Nodes != b[i].Nodes || a[i].Edges != b[i].Edges {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+		if len(a[i].Prog.Code) != len(b[i].Prog.Code) {
+			t.Fatalf("sample %d program differs across identical seeds", i)
+		}
+	}
+	c, err := Generate(Config{Seed: 8, NumBenign: 10, NumMal: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical := true
+	for i := range a {
+		if a[i].Nodes != c[i].Nodes || a[i].Edges != c[i].Edges {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestSamplesValidateAndMatchCachedCFGSizes(t *testing.T) {
+	for _, s := range smallCorpus(t) {
+		if err := s.Prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		cfg, err := ir.Disassemble(s.Prog)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if cfg.G().N() != s.Nodes || cfg.G().M() != s.Edges {
+			t.Errorf("%s: cached %d/%d, disassembled %d/%d",
+				s.Name, s.Nodes, s.Edges, cfg.G().N(), cfg.G().M())
+		}
+	}
+}
+
+func TestSamplesHaltOnProbeInputs(t *testing.T) {
+	it := &ir.Interp{}
+	for _, s := range smallCorpus(t) {
+		for _, in := range ProbeInputs() {
+			if _, err := it.Run(s.Prog, in...); err != nil {
+				t.Fatalf("%s on %v: %v", s.Name, in, err)
+			}
+		}
+	}
+}
+
+func TestFamilyAssignment(t *testing.T) {
+	samples := smallCorpus(t)
+	fams := map[Family]int{}
+	for _, s := range samples {
+		fams[s.Family]++
+		if (s.Family == Benign) == s.Malicious {
+			t.Fatalf("%s: family %v inconsistent with malicious=%v", s.Name, s.Family, s.Malicious)
+		}
+	}
+	for _, f := range MalwareFamilies() {
+		if fams[f] == 0 {
+			t.Errorf("family %v has no samples", f)
+		}
+	}
+	if fams[Benign] != 60 {
+		t.Errorf("benign count %d, want 60", fams[Benign])
+	}
+}
+
+func TestFamilyString(t *testing.T) {
+	if Mirai.String() != "mirai" || Benign.String() != "benign" {
+		t.Error("family names wrong")
+	}
+	if Family(99).String() != "Family(99)" {
+		t.Errorf("unknown family = %q", Family(99))
+	}
+}
+
+// TestClassStructuralSeparation: the corpus must exhibit the structural
+// class difference the detector learns: malware CFGs are denser (more
+// edges per node) than benign ones in aggregate.
+func TestClassStructuralSeparation(t *testing.T) {
+	samples := smallCorpus(t)
+	ratio := func(mal bool) float64 {
+		var rs []float64
+		for _, s := range samples {
+			if s.Malicious != mal || s.Nodes < 3 {
+				continue
+			}
+			rs = append(rs, float64(s.Edges)/float64(s.Nodes))
+		}
+		sort.Float64s(rs)
+		return rs[len(rs)/2]
+	}
+	benignRatio, malRatio := ratio(false), ratio(true)
+	if malRatio <= benignRatio {
+		t.Errorf("malware edge/node median %.3f not above benign %.3f", malRatio, benignRatio)
+	}
+}
+
+func TestSizeRanges(t *testing.T) {
+	samples := smallCorpus(t)
+	for _, s := range samples {
+		if s.Nodes < 1 {
+			t.Fatalf("%s has %d nodes", s.Name, s.Nodes)
+		}
+		if !s.Malicious && s.Nodes > 470 {
+			t.Errorf("%s: benign size %d beyond clamp", s.Name, s.Nodes)
+		}
+		if s.Malicious && s.Nodes > 450 {
+			t.Errorf("%s: malware size %d beyond clamp", s.Name, s.Nodes)
+		}
+	}
+}
+
+func TestProbeInputsIsolated(t *testing.T) {
+	a := ProbeInputs()
+	a[0][0] = 999
+	b := ProbeInputs()
+	if b[0][0] == 999 {
+		t.Error("ProbeInputs returns aliased storage")
+	}
+}
+
+func TestTargetNodesDistribution(t *testing.T) {
+	// The benign small-utility mixture component must still dominate.
+	samples, err := Generate(Config{Seed: 3, NumBenign: 40, NumMal: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSmallBenign := false
+	for _, s := range samples {
+		if !s.Malicious && s.Nodes <= 30 {
+			sawSmallBenign = true
+		}
+	}
+	if !sawSmallBenign {
+		t.Error("no small benign utilities generated; distribution shifted")
+	}
+}

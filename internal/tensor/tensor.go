@@ -1,0 +1,98 @@
+// Package tensor provides the minimal dense float64 tensor used by the
+// neural-network substrate. Tensors are row-major and at most rank 2; the
+// CNN works on (channels, length) activations and flat vectors.
+package tensor
+
+import (
+	"fmt"
+)
+
+// T is a dense row-major tensor of rank 1 or 2.
+type T struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// New returns a zero tensor with the given shape.
+func New(shape ...int) *T {
+	size := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
+		}
+		size *= d
+	}
+	return &T{Shape: append([]int(nil), shape...), Data: make([]float64, size)}
+}
+
+// FromSlice wraps data (not copied) as a rank-1 tensor.
+func FromSlice(data []float64) *T {
+	return &T{Shape: []int{len(data)}, Data: data}
+}
+
+// New2D returns a zero (rows, cols) tensor.
+func New2D(rows, cols int) *T { return New(rows, cols) }
+
+// Size returns the total number of elements.
+func (t *T) Size() int { return len(t.Data) }
+
+// Rows returns the first dimension (1 for rank-1 tensors).
+func (t *T) Rows() int {
+	if len(t.Shape) < 2 {
+		return 1
+	}
+	return t.Shape[0]
+}
+
+// Cols returns the last dimension.
+func (t *T) Cols() int {
+	if len(t.Shape) == 0 {
+		return 0
+	}
+	return t.Shape[len(t.Shape)-1]
+}
+
+// At returns element (r, c) of a rank-2 tensor.
+func (t *T) At(r, c int) float64 { return t.Data[r*t.Cols()+c] }
+
+// Set assigns element (r, c) of a rank-2 tensor.
+func (t *T) Set(r, c int, v float64) { t.Data[r*t.Cols()+c] = v }
+
+// Row returns the slice aliasing row r of a rank-2 tensor.
+func (t *T) Row(r int) []float64 {
+	c := t.Cols()
+	return t.Data[r*c : (r+1)*c]
+}
+
+// Clone returns a deep copy.
+func (t *T) Clone() *T {
+	return &T{
+		Shape: append([]int(nil), t.Shape...),
+		Data:  append([]float64(nil), t.Data...),
+	}
+}
+
+// Zero sets every element to 0 in place.
+func (t *T) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether t and u have identical shapes.
+func (t *T) SameShape(u *T) bool {
+	if len(t.Shape) != len(u.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if u.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the shape and a size summary.
+func (t *T) String() string {
+	return fmt.Sprintf("tensor%v(%d)", t.Shape, t.Size())
+}

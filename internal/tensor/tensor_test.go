@@ -1,0 +1,88 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestNewShapes(t *testing.T) {
+	tt := New(2, 3)
+	if tt.Size() != 6 || tt.Rows() != 2 || tt.Cols() != 3 {
+		t.Errorf("New(2,3): size=%d rows=%d cols=%d", tt.Size(), tt.Rows(), tt.Cols())
+	}
+	v := New(5)
+	if v.Rows() != 1 || v.Cols() != 5 {
+		t.Errorf("rank-1: rows=%d cols=%d, want 1/5", v.Rows(), v.Cols())
+	}
+	empty := &T{}
+	if empty.Cols() != 0 {
+		t.Errorf("empty Cols = %d, want 0", empty.Cols())
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with negative dim did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAtSetRow(t *testing.T) {
+	tt := New2D(2, 3)
+	tt.Set(1, 2, 7)
+	if tt.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", tt.At(1, 2))
+	}
+	row := tt.Row(1)
+	if len(row) != 3 || row[2] != 7 {
+		t.Errorf("Row(1) = %v", row)
+	}
+	row[0] = 5 // Row aliases the tensor
+	if tt.At(1, 0) != 5 {
+		t.Error("Row does not alias underlying data")
+	}
+}
+
+func TestFromSliceAliases(t *testing.T) {
+	data := []float64{1, 2, 3}
+	tt := FromSlice(data)
+	data[0] = 9
+	if tt.Data[0] != 9 {
+		t.Error("FromSlice must wrap, not copy")
+	}
+	if tt.Size() != 3 {
+		t.Errorf("Size = %d, want 3", tt.Size())
+	}
+}
+
+func TestCloneAndZero(t *testing.T) {
+	a := FromSlice([]float64{1, 2})
+	b := a.Clone()
+	b.Data[0] = 9
+	if a.Data[0] != 1 {
+		t.Error("Clone shares data")
+	}
+	a.Zero()
+	if a.Data[0] != 0 || a.Data[1] != 0 {
+		t.Error("Zero did not clear data")
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	if !New(2, 3).SameShape(New(2, 3)) {
+		t.Error("identical shapes reported different")
+	}
+	if New(2, 3).SameShape(New(3, 2)) {
+		t.Error("different shapes reported same")
+	}
+	if New(6).SameShape(New(2, 3)) {
+		t.Error("different ranks reported same")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(2, 3).String(); s != "tensor[2 3](6)" {
+		t.Errorf("String() = %q", s)
+	}
+}
