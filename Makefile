@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test vet race check bench fault
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The robustness gate: static analysis plus the full suite under the race
+# detector. The fault-injection harness (internal/pool/faultinject) and the
+# pool invariant tests run here with -race so leaked goroutines, racy
+# result slots, and missed cancellations fail loudly.
+race: vet
+	$(GO) test -race ./...
+
+# Just the worker-pool runtime and fault-injection suites, under -race.
+fault:
+	$(GO) test -race ./internal/pool/... ./internal/dataset/ ./cmd/classify/
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+check: build race

@@ -21,11 +21,17 @@
 //	if _, err := sys.Fit(); err != nil { ... }
 //	metrics, _ := sys.EvaluateTest()
 //	rows, _ := sys.RunTableIV(true) // GEA malware->benign
+//
+// Every pipeline stage also has a context-aware variant (BuildCorpusCtx,
+// FitCtx, RunTableIIICtx, RunTableIVCtx, ...) for cancellation and
+// deadlines; samples that fail during the corpus build are isolated,
+// recorded in System.Skips, and skipped unless Config.StrictCorpus is set.
 package advmal
 
 import (
 	"advmal/internal/attacks"
 	"advmal/internal/core"
+	"advmal/internal/dataset"
 	"advmal/internal/gea"
 	"advmal/internal/nn"
 	"advmal/internal/synth"
@@ -47,6 +53,9 @@ type (
 	GEARow = gea.Row
 	// Sample is one corpus program.
 	Sample = synth.Sample
+	// SkipReport accounts for samples isolated and skipped during a
+	// corpus build (System.Skips).
+	SkipReport = dataset.SkipReport
 )
 
 // NewSystem returns an unbuilt System with cfg.

@@ -236,8 +236,14 @@ func BenchmarkTableVII_GEAFixedNodesBtoM(b *testing.B) { benchGEAFixed(b, true, 
 // BenchmarkFig2to4_MergePipeline measures the figure pipeline: merge the
 // Fig. 2 and Fig. 3 programs and disassemble the Fig. 4 result.
 func BenchmarkFig2to4_MergePipeline(b *testing.B) {
-	orig := gea.FigureOriginal()
-	target := gea.FigureTarget()
+	orig, err := gea.FigureOriginal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := gea.FigureTarget()
+	if err != nil {
+		b.Fatal(err)
+	}
 	for i := 0; i < b.N; i++ {
 		merged, err := gea.Merge(orig, target)
 		if err != nil {

@@ -7,22 +7,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/attacks"
 	"advmal/internal/core"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "attack: interrupted — pipeline cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed       = flag.Int64("seed", 1, "pipeline seed")
 		epochs     = flag.Int("epochs", 200, "training epochs")
@@ -42,10 +52,10 @@ func run() error {
 		cfg.Verbose = os.Stderr
 	}
 	sys := core.New(cfg)
-	if err := sys.BuildCorpus(); err != nil {
+	if err := sys.BuildCorpusCtx(ctx); err != nil {
 		return err
 	}
-	if _, err := sys.Fit(); err != nil {
+	if _, err := sys.FitCtx(ctx); err != nil {
 		return err
 	}
 	m, err := sys.EvaluateTest()
@@ -54,7 +64,7 @@ func run() error {
 	}
 	fmt.Printf("detector: %v\n\n", m)
 
-	results, err := sys.RunTableIII(attacks.Options{MaxSamples: *maxSamples})
+	results, err := sys.RunTableIIICtx(ctx, attacks.Options{MaxSamples: *maxSamples})
 	if err != nil {
 		return err
 	}

@@ -9,9 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/core"
 	"advmal/internal/ir"
@@ -19,13 +24,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "classify: interrupted — pipeline cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "classify:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		model   = flag.String("model", "detector.gob", "detector file")
 		train   = flag.Bool("train", false, "train a detector and save it to -model")
@@ -43,10 +54,10 @@ func run() error {
 		cfg.NumBenign = *benign
 		cfg.NumMal = *malware
 		sys := core.New(cfg)
-		if err := sys.BuildCorpus(); err != nil {
+		if err := sys.BuildCorpusCtx(ctx); err != nil {
 			return err
 		}
-		if _, err := sys.Fit(); err != nil {
+		if _, err := sys.FitCtx(ctx); err != nil {
 			return err
 		}
 		m, err := sys.EvaluateTest()
@@ -82,7 +93,18 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	for _, path := range flag.Args() {
+	return classifyFiles(ctx, det, flag.Args(), os.Stdout)
+}
+
+// classifyFiles classifies each assembly file with det, writing one verdict
+// line per program to w. Malformed inputs produce errors, never panics: the
+// parser, disassembler, and the recover-guarded detector forward pass all
+// report failures as wrapped errors carrying the file path.
+func classifyFiles(ctx context.Context, det *core.Detector, paths []string, w io.Writer) error {
+	for _, path := range paths {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		text, err := os.ReadFile(path)
 		if err != nil {
 			return err
@@ -103,7 +125,7 @@ func run() error {
 		if pred == nn.ClassMalware {
 			verdict = "MALWARE"
 		}
-		fmt.Printf("%-30s %s (p=%.3f) — %d blocks, %d edges\n",
+		fmt.Fprintf(w, "%-30s %s (p=%.3f) — %d blocks, %d edges\n",
 			path, verdict, probs[pred], cfg.G().N(), cfg.G().M())
 	}
 	return nil

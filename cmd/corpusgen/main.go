@@ -7,9 +7,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/dataset"
 	"advmal/internal/report"
@@ -17,13 +21,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "corpusgen: interrupted — generation cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "corpusgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed    = flag.Int64("seed", 1, "generation seed")
 		benign  = flag.Int("benign", 276, "number of benign samples (Table I: 276)")
@@ -73,9 +83,12 @@ func run() error {
 		fmt.Println("corpus written to", *out)
 	}
 	if *csvOut != "" {
-		ds, err := dataset.FromSamples(samples, 0)
+		ds, skips, err := dataset.FromSamplesCtx(ctx, samples, dataset.Options{SkipBad: true})
 		if err != nil {
 			return err
+		}
+		if skips.Count() > 0 {
+			fmt.Fprintf(os.Stderr, "corpusgen: %s\n", skips)
 		}
 		f, err := os.Create(*csvOut)
 		if err != nil {

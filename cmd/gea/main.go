@@ -9,22 +9,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/core"
 	"advmal/internal/gea"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "gea: interrupted — pipeline cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gea:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed     = flag.Int64("seed", 1, "pipeline seed")
 		epochs   = flag.Int("epochs", 200, "training epochs")
@@ -44,10 +54,10 @@ func run() error {
 		cfg.Verbose = os.Stderr
 	}
 	sys := core.New(cfg)
-	if err := sys.BuildCorpus(); err != nil {
+	if err := sys.BuildCorpusCtx(ctx); err != nil {
 		return err
 	}
-	if _, err := sys.Fit(); err != nil {
+	if _, err := sys.FitCtx(ctx); err != nil {
 		return err
 	}
 	m, err := sys.EvaluateTest()
@@ -59,16 +69,16 @@ func run() error {
 	verify := !*noverify
 	experiments := []struct {
 		title string
-		run   func(bool) ([]gea.Row, error)
+		run   func(context.Context, bool) ([]gea.Row, error)
 		fixed bool
 	}{
-		{"TABLE IV: GEA MALWARE TO BENIGN MISCLASSIFICATION RATE", sys.RunTableIV, false},
-		{"TABLE V: GEA BENIGN TO MALWARE MISCLASSIFICATION RATE", sys.RunTableV, false},
-		{"TABLE VI: GEA MALWARE TO BENIGN, FIXED NUMBER OF NODES", sys.RunTableVI, true},
-		{"TABLE VII: GEA BENIGN TO MALWARE, FIXED NUMBER OF NODES", sys.RunTableVII, true},
+		{"TABLE IV: GEA MALWARE TO BENIGN MISCLASSIFICATION RATE", sys.RunTableIVCtx, false},
+		{"TABLE V: GEA BENIGN TO MALWARE MISCLASSIFICATION RATE", sys.RunTableVCtx, false},
+		{"TABLE VI: GEA MALWARE TO BENIGN, FIXED NUMBER OF NODES", sys.RunTableVICtx, true},
+		{"TABLE VII: GEA BENIGN TO MALWARE, FIXED NUMBER OF NODES", sys.RunTableVIICtx, true},
 	}
 	for _, exp := range experiments {
-		rows, err := exp.run(verify)
+		rows, err := exp.run(ctx, verify)
 		if err != nil {
 			return err
 		}

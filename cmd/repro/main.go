@@ -13,9 +13,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"advmal/internal/attacks"
@@ -23,13 +27,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "repro: interrupted — pipeline cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "repro:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed       = flag.Int64("seed", 1, "pipeline seed")
 		epochs     = flag.Int("epochs", 200, "training epochs (paper: 200)")
@@ -52,7 +62,7 @@ func run() error {
 	sys := core.New(cfg)
 
 	t0 := time.Now()
-	rep, err := sys.RunAll(core.RunAllOptions{
+	rep, err := sys.RunAllCtx(ctx, core.RunAllOptions{
 		Attacks:   attacks.Options{MaxSamples: *maxSamples},
 		VerifyGEA: !*noverify,
 	})

@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/dataset"
 	"advmal/internal/features"
@@ -20,13 +24,19 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "stats: interrupted — analysis cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "stats:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed    = flag.Int64("seed", 1, "generation seed")
 		benign  = flag.Int("benign", 276, "benign samples")
@@ -53,9 +63,12 @@ func run() error {
 			return err
 		}
 	}
-	ds, err := dataset.FromSamples(samples, 0)
+	ds, skips, err := dataset.FromSamplesCtx(ctx, samples, dataset.Options{SkipBad: true})
 	if err != nil {
 		return err
+	}
+	if skips.Count() > 0 {
+		fmt.Fprintf(os.Stderr, "stats: %s\n", skips)
 	}
 	var benignVecs, malVecs []features.Vector
 	for _, r := range ds.Records {

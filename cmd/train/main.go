@@ -8,22 +8,32 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"advmal/internal/core"
 	"advmal/internal/nn"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintln(os.Stderr, "train: interrupted — pipeline cancelled cleanly, partial progress above")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "train:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		seed     = flag.Int64("seed", 1, "pipeline seed")
 		epochs   = flag.Int("epochs", 200, "training epochs (paper: 200)")
@@ -46,11 +56,11 @@ func run() error {
 		cfg.Verbose = os.Stderr
 	}
 	sys := core.New(cfg)
-	if err := sys.BuildCorpus(); err != nil {
+	if err := sys.BuildCorpusCtx(ctx); err != nil {
 		return err
 	}
 	fmt.Printf("corpus: %d train / %d test samples\n", sys.Train.Len(), sys.Test.Len())
-	hist, err := sys.Fit()
+	hist, err := sys.FitCtx(ctx)
 	if err != nil {
 		return err
 	}

@@ -23,8 +23,14 @@ func main() {
 }
 
 func run() error {
-	orig := gea.FigureOriginal()
-	target := gea.FigureTarget()
+	orig, err := gea.FigureOriginal()
+	if err != nil {
+		return err
+	}
+	target, err := gea.FigureTarget()
+	if err != nil {
+		return err
+	}
 
 	if err := show("Fig. 2 — original sample", orig); err != nil {
 		return err

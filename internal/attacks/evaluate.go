@@ -1,13 +1,14 @@
 package attacks
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"advmal/internal/features"
 	"advmal/internal/nn"
+	"advmal/internal/pool"
 )
 
 // Options configures the Table III evaluation harness.
@@ -20,6 +21,8 @@ type Options struct {
 	Tol float64
 	// Workers is the crafting parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Hook is the pool fault-injection hook, for tests.
+	Hook pool.Hook
 }
 
 // Result aggregates one attack's row of Table III.
@@ -33,12 +36,19 @@ type Result struct {
 	ValidRate     float64       `json:"valid"`  // fraction inside the box
 	MalToBen      int           `json:"mal_to_ben"`
 	BenToMal      int           `json:"ben_to_mal"`
+	// Skipped counts samples whose crafting failed (an error or panic in
+	// the attack); they are isolated and excluded from every aggregate.
+	Skipped int `json:"skipped,omitempty"`
 }
 
 // String renders the result like a Table III row.
 func (r Result) String() string {
-	return fmt.Sprintf("%-11s MR=%6.2f%% Avg.FG=%5.2f CT=%8.3fms (n=%d, valid=%.0f%%)",
+	s := fmt.Sprintf("%-11s MR=%6.2f%% Avg.FG=%5.2f CT=%8.3fms (n=%d, valid=%.0f%%)",
 		r.Attack, r.MR*100, r.AvgFG, float64(r.AvgCT.Microseconds())/1000, r.Total, r.ValidRate*100)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(" [skipped=%d]", r.Skipped)
+	}
+	return s
 }
 
 // Eligible returns the indices of samples the harness attacks: those the
@@ -61,11 +71,20 @@ func Eligible(net *nn.Network, x [][]float64, y []int, maxSamples int) []int {
 	return idx
 }
 
-// Evaluate crafts adversarial examples with every attack against every
-// eligible sample and aggregates the paper's Table III columns. Crafting
-// fans out over weight-sharing network clones; aggregation order is
-// deterministic.
+// Evaluate is EvaluateCtx without cancellation.
 func Evaluate(net *nn.Network, atks []Attack, x [][]float64, y []int, opts Options) []Result {
+	results, _ := EvaluateCtx(context.Background(), net, atks, x, y, opts)
+	return results
+}
+
+// EvaluateCtx crafts adversarial examples with every attack against every
+// eligible sample on the shared worker pool and aggregates the paper's
+// Table III columns. Aggregation order is deterministic. A sample whose
+// crafting fails (error or panic) is isolated, counted in the row's
+// Skipped column, and excluded from the aggregates; the run completes on
+// the survivors. The returned error is non-nil only when ctx is cancelled,
+// in which case the rows completed so far are returned with it.
+func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]float64, y []int, opts Options) ([]Result, error) {
 	tol := opts.Tol
 	if tol <= 0 {
 		tol = 1e-3
@@ -80,6 +99,7 @@ func Evaluate(net *nn.Network, atks []Attack, x [][]float64, y []int, opts Optio
 	results := make([]Result, 0, len(atks))
 	for _, atk := range atks {
 		type perSample struct {
+			ok    bool
 			mis   bool
 			fg    int
 			ct    time.Duration
@@ -87,34 +107,43 @@ func Evaluate(net *nn.Network, atks []Attack, x [][]float64, y []int, opts Optio
 			label int
 		}
 		rows := make([]perSample, len(idx))
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				clone := net.CloneShared()
-				for k := w; k < len(idx); k += workers {
-					i := idx[k]
-					t0 := time.Now()
-					adv := atk.Craft(clone, x[i], y[i])
-					ct := time.Since(t0)
-					pred := clone.Predict(adv)
-					rows[k] = perSample{
-						mis:   pred != y[i],
-						fg:    features.Diff(features.Vector(x[i]), features.Vector(adv), tol),
-						ct:    ct,
-						valid: validator.Valid(features.Vector(adv)),
-						label: y[i],
-					}
-				}
-			}(w)
+		clones := make([]*nn.Network, min(workers, max(len(idx), 1)))
+		for w := range clones {
+			clones[w] = net.CloneShared()
 		}
-		wg.Wait()
+		err := pool.Run(ctx, len(idx), pool.Options{
+			Workers: workers,
+			Hook:    opts.Hook,
+			Name:    func(k int) string { return fmt.Sprintf("%s/sample-%d", atk.Name(), idx[k]) },
+		}, func(_ context.Context, w, k int) error {
+			clone := clones[w]
+			i := idx[k]
+			t0 := time.Now()
+			adv := atk.Craft(clone, x[i], y[i])
+			ct := time.Since(t0)
+			pred := clone.Predict(adv)
+			rows[k] = perSample{
+				ok:    true,
+				mis:   pred != y[i],
+				fg:    features.Diff(features.Vector(x[i]), features.Vector(adv), tol),
+				ct:    ct,
+				valid: validator.Valid(features.Vector(adv)),
+				label: y[i],
+			}
+			return nil
+		})
+		if ctx.Err() != nil {
+			return results, fmt.Errorf("attacks: %s: %w", atk.Name(), err)
+		}
 		var res Result
 		res.Attack = atk.Name()
-		res.Total = len(idx)
 		var fgSum, ctSum, validCnt int64
 		for _, row := range rows {
+			if !row.ok {
+				res.Skipped++
+				continue
+			}
+			res.Total++
 			if row.mis {
 				res.Misclassified++
 				if row.label == nn.ClassMalware {
@@ -137,5 +166,5 @@ func Evaluate(net *nn.Network, atks []Attack, x [][]float64, y []int, opts Optio
 		}
 		results = append(results, res)
 	}
-	return results
+	return results, nil
 }

@@ -1,10 +1,12 @@
 package attacks
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"advmal/internal/nn"
+	"advmal/internal/pool"
 )
 
 // Transfer errors.
@@ -48,10 +50,15 @@ func (r TransferResult) String() string {
 		r.Attack, r.SubstituteMR*100, r.VictimMR*100, r.Total, r.SubstituteAcc*100)
 }
 
-// TrainSubstitute fits a small MLP to imitate the victim: the queries are
-// labelled by the victim's own predictions (model stealing), so the
-// adversary needs no ground truth.
+// TrainSubstitute is TrainSubstituteCtx without cancellation.
 func TrainSubstitute(victim *nn.Network, queries [][]float64, cfg TransferConfig) (*nn.Network, error) {
+	return TrainSubstituteCtx(context.Background(), victim, queries, cfg)
+}
+
+// TrainSubstituteCtx fits a small MLP to imitate the victim: the queries
+// are labelled by the victim's own predictions (model stealing), so the
+// adversary needs no ground truth. Training checks ctx between batches.
+func TrainSubstituteCtx(ctx context.Context, victim *nn.Network, queries [][]float64, cfg TransferConfig) (*nn.Network, error) {
 	if len(queries) == 0 {
 		return nil, ErrNoQueries
 	}
@@ -74,17 +81,23 @@ func TrainSubstitute(victim *nn.Network, queries [][]float64, cfg TransferConfig
 		Seed:      cfg.Seed + 2,
 		Workers:   cfg.Workers,
 	}
-	if _, err := tr.Fit(sub, queries, labels); err != nil {
+	if _, err := tr.FitCtx(ctx, sub, queries, labels); err != nil {
 		return nil, fmt.Errorf("attacks: substitute training: %w", err)
 	}
 	return sub, nil
 }
 
-// TransferEvaluate trains a substitute on queries, crafts adversarial
-// examples against the substitute with every attack, and measures how
-// often they also fool the black-box victim.
+// TransferEvaluate is TransferEvaluateCtx without cancellation.
 func TransferEvaluate(victim *nn.Network, atks []Attack, queries, testX [][]float64, testY []int, cfg TransferConfig) ([]TransferResult, error) {
-	sub, err := TrainSubstitute(victim, queries, cfg)
+	return TransferEvaluateCtx(context.Background(), victim, atks, queries, testX, testY, cfg)
+}
+
+// TransferEvaluateCtx trains a substitute on queries, crafts adversarial
+// examples against the substitute with every attack on the shared worker
+// pool, and measures how often they also fool the black-box victim.
+// Crafting failures are isolated per sample and excluded from the rates.
+func TransferEvaluateCtx(ctx context.Context, victim *nn.Network, atks []Attack, queries, testX [][]float64, testY []int, cfg TransferConfig) ([]TransferResult, error) {
+	sub, err := TrainSubstituteCtx(ctx, victim, queries, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -100,19 +113,51 @@ func TransferEvaluate(victim *nn.Network, atks []Attack, queries, testX [][]floa
 		agreement = float64(agree) / float64(len(testX))
 	}
 	idx := Eligible(victim, testX, testY, cfg.MaxSamples)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
 	results := make([]TransferResult, 0, len(atks))
 	for _, atk := range atks {
 		var res TransferResult
 		res.Attack = atk.Name()
-		res.Total = len(idx)
 		res.SubstituteAcc = agreement
+		type outcome struct {
+			ok      bool
+			subMiss bool
+			vicMiss bool
+		}
+		outs := make([]outcome, len(idx))
+		subClones := make([]*nn.Network, workers)
+		vicClones := make([]*nn.Network, workers)
+		for w := range subClones {
+			subClones[w] = sub.CloneShared()
+			vicClones[w] = victim.CloneShared()
+		}
+		err := pool.Run(ctx, len(idx), pool.Options{Workers: workers},
+			func(_ context.Context, w, k int) error {
+				i := idx[k]
+				adv := atk.Craft(subClones[w], testX[i], testY[i])
+				outs[k] = outcome{
+					ok:      true,
+					subMiss: subClones[w].Predict(adv) != testY[i],
+					vicMiss: vicClones[w].Predict(adv) != testY[i],
+				}
+				return nil
+			})
+		if ctx.Err() != nil {
+			return results, fmt.Errorf("attacks: transfer %s: %w", atk.Name(), err)
+		}
 		subFooled, victimFooled := 0, 0
-		for _, i := range idx {
-			adv := atk.Craft(sub, testX[i], testY[i])
-			if sub.Predict(adv) != testY[i] {
+		for _, o := range outs {
+			if !o.ok {
+				continue
+			}
+			res.Total++
+			if o.subMiss {
 				subFooled++
 			}
-			if victim.Predict(adv) != testY[i] {
+			if o.vicMiss {
 				victimFooled++
 			}
 		}

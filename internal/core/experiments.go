@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -16,6 +17,9 @@ import (
 type Report struct {
 	// Table I: class distribution.
 	NumBenign, NumMal int
+	// SkippedSamples counts corpus samples isolated during the build
+	// (skip-and-report); surfaced alongside Table I.
+	SkippedSamples int
 	// §IV-C1 detector metrics on the held-out split.
 	Detector nn.Metrics
 	// PaperConvention mirrors Detector with benign treated as the
@@ -46,16 +50,22 @@ func (s *System) TestSamples() []*synth.Sample {
 	return out
 }
 
-// RunTableIII evaluates the eight off-the-shelf attacks on the held-out
-// split and returns the Table III rows.
+// RunTableIII is RunTableIIICtx without cancellation.
 func (s *System) RunTableIII(opts attacks.Options) ([]attacks.Result, error) {
+	return s.RunTableIIICtx(context.Background(), opts)
+}
+
+// RunTableIIICtx evaluates the eight off-the-shelf attacks on the
+// held-out split and returns the Table III rows. Per-sample crafting
+// failures are isolated and reported in each row's Skipped column.
+func (s *System) RunTableIIICtx(ctx context.Context, opts attacks.Options) ([]attacks.Result, error) {
 	if s.Net == nil {
 		return nil, ErrNotTrained
 	}
 	if opts.Workers == 0 {
 		opts.Workers = s.Config.Workers
 	}
-	return attacks.Evaluate(s.Net, attacks.All(), s.TestX, s.TestY, opts), nil
+	return attacks.EvaluateCtx(ctx, s.Net, attacks.All(), s.TestX, s.TestY, opts)
 }
 
 // GEAPipeline returns a GEA crafting pipeline bound to the trained
@@ -72,52 +82,74 @@ func (s *System) GEAPipeline(verify bool) (*gea.Pipeline, error) {
 	}, nil
 }
 
-// RunTableIV reproduces Table IV: malware->benign GEA with benign targets
-// of minimum, median, and maximum graph size. Targets are drawn from the
-// full corpus (the adversary may pick any benign sample); originals are
-// the held-out malware samples.
+// RunTableIV is RunTableIVCtx without cancellation.
 func (s *System) RunTableIV(verify bool) ([]gea.Row, error) {
+	return s.RunTableIVCtx(context.Background(), verify)
+}
+
+// RunTableIVCtx reproduces Table IV: malware->benign GEA with benign
+// targets of minimum, median, and maximum graph size. Targets are drawn
+// from the full corpus (the adversary may pick any benign sample);
+// originals are the held-out malware samples.
+func (s *System) RunTableIVCtx(ctx context.Context, verify bool) ([]gea.Row, error) {
 	p, err := s.GEAPipeline(verify)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunSizeExperiment(s.TestSamples(), s.Samples, false)
+	return p.RunSizeExperimentCtx(ctx, s.TestSamples(), s.Samples, false)
 }
 
-// RunTableV reproduces Table V: benign->malware GEA with malware targets.
+// RunTableV is RunTableVCtx without cancellation.
 func (s *System) RunTableV(verify bool) ([]gea.Row, error) {
+	return s.RunTableVCtx(context.Background(), verify)
+}
+
+// RunTableVCtx reproduces Table V: benign->malware GEA with malware
+// targets.
+func (s *System) RunTableVCtx(ctx context.Context, verify bool) ([]gea.Row, error) {
 	p, err := s.GEAPipeline(verify)
 	if err != nil {
 		return nil, err
 	}
-	return p.RunSizeExperiment(s.TestSamples(), s.Samples, true)
+	return p.RunSizeExperimentCtx(ctx, s.TestSamples(), s.Samples, true)
 }
 
-// RunTableVI reproduces Table VI: malware->benign GEA with benign targets
-// at fixed node counts and varying edge counts (3 groups x 3 targets on
-// the full corpus; reduced corpora degrade to smaller group shapes).
+// RunTableVI is RunTableVICtx without cancellation.
 func (s *System) RunTableVI(verify bool) ([]gea.Row, error) {
-	return s.runFixedNodes(verify, false)
+	return s.RunTableVICtx(context.Background(), verify)
 }
 
-// RunTableVII reproduces Table VII: benign->malware GEA at fixed node
-// counts.
+// RunTableVICtx reproduces Table VI: malware->benign GEA with benign
+// targets at fixed node counts and varying edge counts (3 groups x 3
+// targets on the full corpus; reduced corpora degrade to smaller group
+// shapes).
+func (s *System) RunTableVICtx(ctx context.Context, verify bool) ([]gea.Row, error) {
+	return s.runFixedNodes(ctx, verify, false)
+}
+
+// RunTableVII is RunTableVIICtx without cancellation.
 func (s *System) RunTableVII(verify bool) ([]gea.Row, error) {
-	return s.runFixedNodes(verify, true)
+	return s.RunTableVIICtx(context.Background(), verify)
+}
+
+// RunTableVIICtx reproduces Table VII: benign->malware GEA at fixed node
+// counts.
+func (s *System) RunTableVIICtx(ctx context.Context, verify bool) ([]gea.Row, error) {
+	return s.runFixedNodes(ctx, verify, true)
 }
 
 // runFixedNodes runs the fixed-node experiment at the paper's 3x3 shape,
 // falling back to smaller shapes when a reduced corpus lacks enough
 // same-node-count targets with distinct edge counts.
-func (s *System) runFixedNodes(verify, targetMalicious bool) ([]gea.Row, error) {
+func (s *System) runFixedNodes(ctx context.Context, verify, targetMalicious bool) ([]gea.Row, error) {
 	p, err := s.GEAPipeline(verify)
 	if err != nil {
 		return nil, err
 	}
 	var lastErr error
 	for _, shape := range [][2]int{{3, 3}, {3, 2}, {2, 2}} {
-		rows, err := p.RunFixedNodesExperiment(
-			s.TestSamples(), s.Samples, targetMalicious, shape[0], shape[1])
+		rows, err := p.RunFixedNodesExperimentCtx(
+			ctx, s.TestSamples(), s.Samples, targetMalicious, shape[0], shape[1])
 		if err == nil {
 			return rows, nil
 		}
@@ -138,39 +170,46 @@ type RunAllOptions struct {
 	VerifyGEA bool
 }
 
-// RunAll builds the corpus (if needed), trains the detector (if needed),
-// and reproduces Tables I and III-VII plus the detector metrics.
+// RunAll is RunAllCtx without cancellation.
 func (s *System) RunAll(opts RunAllOptions) (*Report, error) {
+	return s.RunAllCtx(context.Background(), opts)
+}
+
+// RunAllCtx builds the corpus (if needed), trains the detector (if
+// needed), and reproduces Tables I and III-VII plus the detector metrics.
+// Cancelling ctx stops the run between stages and between items within a
+// stage.
+func (s *System) RunAllCtx(ctx context.Context, opts RunAllOptions) (*Report, error) {
 	if s.Data == nil {
-		if err := s.BuildCorpus(); err != nil {
+		if err := s.BuildCorpusCtx(ctx); err != nil {
 			return nil, err
 		}
 	}
 	if s.Net == nil {
-		if _, err := s.Fit(); err != nil {
+		if _, err := s.FitCtx(ctx); err != nil {
 			return nil, err
 		}
 	}
-	rep := &Report{}
+	rep := &Report{SkippedSamples: s.Skips.Count()}
 	rep.NumBenign, rep.NumMal = s.Data.CountByLabel()
 	var err error
 	if rep.Detector, err = s.EvaluateTest(); err != nil {
 		return nil, err
 	}
 	rep.PaperConvention = mirrorConvention(rep.Detector)
-	if rep.TableIII, err = s.RunTableIII(opts.Attacks); err != nil {
+	if rep.TableIII, err = s.RunTableIIICtx(ctx, opts.Attacks); err != nil {
 		return nil, fmt.Errorf("core: table III: %w", err)
 	}
-	if rep.TableIV, err = s.RunTableIV(opts.VerifyGEA); err != nil {
+	if rep.TableIV, err = s.RunTableIVCtx(ctx, opts.VerifyGEA); err != nil {
 		return nil, fmt.Errorf("core: table IV: %w", err)
 	}
-	if rep.TableV, err = s.RunTableV(opts.VerifyGEA); err != nil {
+	if rep.TableV, err = s.RunTableVCtx(ctx, opts.VerifyGEA); err != nil {
 		return nil, fmt.Errorf("core: table V: %w", err)
 	}
-	if rep.TableVI, err = s.RunTableVI(opts.VerifyGEA); err != nil {
+	if rep.TableVI, err = s.RunTableVICtx(ctx, opts.VerifyGEA); err != nil {
 		return nil, fmt.Errorf("core: table VI: %w", err)
 	}
-	if rep.TableVII, err = s.RunTableVII(opts.VerifyGEA); err != nil {
+	if rep.TableVII, err = s.RunTableVIICtx(ctx, opts.VerifyGEA); err != nil {
 		return nil, fmt.Errorf("core: table VII: %w", err)
 	}
 	return rep, nil

@@ -26,7 +26,9 @@ func (s *System) Detector() (*Detector, error) {
 	return &Detector{Scaler: s.Scaler, Net: s.Net}, nil
 }
 
-// Classify runs the full pipeline on one program.
+// Classify runs the full pipeline on one untrusted program. Faults in
+// any stage — including a panic inside a network layer — come back as
+// errors, never crashes.
 func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
 	cfg, err := ir.Disassemble(prog)
 	if err != nil {
@@ -37,7 +39,10 @@ func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}
-	probs := d.Net.Probs(scaled)
+	probs, err := d.Net.SafeProbs(scaled)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: %w", err)
+	}
 	return nn.Argmax(probs), probs, nil
 }
 

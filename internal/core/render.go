@@ -20,7 +20,12 @@ func (s *System) RenderTableI() (string, error) {
 	for _, r := range rows {
 		t.Add(r.Class, r.Count, report.Pct(r.Percent)+"%")
 	}
-	return t.String(), nil
+	out := t.String()
+	if n := s.Skips.Count(); n > 0 {
+		out += fmt.Sprintf("(%d sample(s) skipped during corpus build: %s)\n",
+			n, s.Skips)
+	}
+	return out, nil
 }
 
 // RenderTableII renders the feature-category distribution like Table II.
@@ -36,14 +41,21 @@ func RenderTableII() string {
 	return t.String()
 }
 
-// RenderTableIII renders the generic-attack results like Table III.
+// RenderTableIII renders the generic-attack results like Table III. Rows
+// with isolated (skipped) samples are annotated below the table.
 func RenderTableIII(results []attacks.Result) string {
 	t := report.New("TABLE III: EVALUATION USING GENERIC METHODS",
 		"Attack Method", "MR (%)", "Avg.FG", "CT (ms)")
+	skipped := 0
 	for _, r := range results {
 		t.Add(r.Attack, report.Pct(r.MR), report.F2(r.AvgFG), report.Ms(r.AvgCT))
+		skipped += r.Skipped
 	}
-	return t.String()
+	out := t.String()
+	if skipped > 0 {
+		out += fmt.Sprintf("(%d crafting attempt(s) skipped after per-sample faults)\n", skipped)
+	}
+	return out
 }
 
 // RenderGEASize renders Tables IV/V.

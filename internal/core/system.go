@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +46,11 @@ type Config struct {
 	Workers int
 	// Verbose, when non-nil, receives training progress.
 	Verbose io.Writer
+	// StrictCorpus fails the corpus build on the first bad sample instead
+	// of the default skip-and-report behaviour, where a sample that fails
+	// to disassemble or panics inside a stage is isolated, recorded in
+	// System.Skips, and the build completes on the survivors.
+	StrictCorpus bool
 }
 
 // DefaultConfig returns the paper's configuration: Table I corpus, an
@@ -71,6 +77,9 @@ type System struct {
 	Test    *dataset.Dataset
 	Scaler  *features.Scaler
 	Net     *nn.Network
+	// Skips records the samples isolated during the corpus build; nil
+	// until BuildCorpus runs. Its count is surfaced in the Table I report.
+	Skips *dataset.SkipReport
 
 	// Scaled design matrices, aligned with Train/Test record order.
 	TrainX [][]float64
@@ -100,9 +109,15 @@ func New(cfg Config) *System {
 	return &System{Config: cfg}
 }
 
-// BuildCorpus generates the corpus, extracts features, splits, and fits
-// the scaler on the training split.
+// BuildCorpus is BuildCorpusCtx without cancellation.
 func (s *System) BuildCorpus() error {
+	return s.BuildCorpusCtx(context.Background())
+}
+
+// BuildCorpusCtx generates the corpus, extracts features, splits, and
+// fits the scaler on the training split. Unless Config.StrictCorpus is
+// set, bad samples are isolated and skipped (see BuildFromSamples).
+func (s *System) BuildCorpusCtx(ctx context.Context) error {
 	samples, err := synth.Generate(synth.Config{
 		Seed:      s.Config.Seed,
 		NumBenign: s.Config.NumBenign,
@@ -111,8 +126,21 @@ func (s *System) BuildCorpus() error {
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	return s.BuildFromSamples(ctx, samples)
+}
+
+// BuildFromSamples assembles the corpus from an explicit (possibly
+// untrusted) sample set: extracts features, splits, and fits the scaler
+// on the training split. Unless Config.StrictCorpus is set, a sample that
+// fails to disassemble or panics inside a stage is isolated, recorded in
+// System.Skips, and the build completes on the surviving samples.
+func (s *System) BuildFromSamples(ctx context.Context, samples []*synth.Sample) error {
 	s.Samples = samples
-	ds, err := dataset.FromSamples(samples, s.Config.Workers)
+	ds, skips, err := dataset.FromSamplesCtx(ctx, samples, dataset.Options{
+		Workers: s.Config.Workers,
+		SkipBad: !s.Config.StrictCorpus,
+	})
+	s.Skips = skips
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
@@ -149,8 +177,14 @@ func (s *System) designMatrix(ds *dataset.Dataset) ([][]float64, []int, error) {
 	return x, y, nil
 }
 
-// Fit trains the Fig. 5 CNN on the training split.
+// Fit is FitCtx without cancellation.
 func (s *System) Fit() (*nn.History, error) {
+	return s.FitCtx(context.Background())
+}
+
+// FitCtx trains the Fig. 5 CNN on the training split, checking ctx
+// between batches so training can be cancelled or time-boxed.
+func (s *System) FitCtx(ctx context.Context) (*nn.History, error) {
 	if s.Train == nil {
 		return nil, ErrNotBuilt
 	}
@@ -163,7 +197,7 @@ func (s *System) Fit() (*nn.History, error) {
 		EarlyStopLoss: s.Config.EarlyStopLoss,
 		Verbose:       s.Config.Verbose,
 	}
-	hist, err := trainer.Fit(s.Net, s.TrainX, s.TrainY)
+	hist, err := trainer.FitCtx(ctx, s.Net, s.TrainX, s.TrainY)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -186,9 +220,11 @@ func (s *System) EvaluateTrain() (nn.Metrics, error) {
 	return nn.Evaluate(s.Net, s.TrainX, s.TrainY), nil
 }
 
-// Classify runs the full pipeline on one program: disassemble, extract
-// the 23 features, scale, and apply the CNN. It returns the predicted
-// label and the softmax probabilities.
+// Classify runs the full pipeline on one untrusted program: disassemble,
+// extract the 23 features, scale, and apply the CNN. It returns the
+// predicted label and the softmax probabilities. Faults anywhere in the
+// pipeline — including a panic inside a network layer — come back as
+// errors, never crashes.
 func (s *System) Classify(prog *ir.Program) (int, []float64, error) {
 	if s.Net == nil {
 		return 0, nil, ErrNotTrained
@@ -202,15 +238,19 @@ func (s *System) Classify(prog *ir.Program) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}
-	probs := s.Net.Probs(v)
-	return nn.Argmax(probs), probs, nil
+	return s.ClassifyVector(v)
 }
 
-// ClassifyVector applies the CNN to an already scaled feature vector.
+// ClassifyVector applies the CNN to an already scaled feature vector,
+// with the layer-panic boundary applied (untrusted vectors error out
+// instead of crashing a serving process).
 func (s *System) ClassifyVector(v features.Vector) (int, []float64, error) {
 	if s.Net == nil {
 		return 0, nil, ErrNotTrained
 	}
-	probs := s.Net.Probs(v)
+	probs, err := s.Net.SafeProbs(v)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: %w", err)
+	}
 	return nn.Argmax(probs), probs, nil
 }

@@ -5,14 +5,15 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
+	"strings"
 
 	"advmal/internal/features"
 	"advmal/internal/ir"
+	"advmal/internal/pool"
 	"advmal/internal/synth"
 )
 
@@ -42,46 +43,116 @@ type Dataset struct {
 	Records []*Record
 }
 
-// FromSamples disassembles every sample and extracts its feature vector,
-// fanning the work across workers goroutines (0 = GOMAXPROCS). The output
-// order matches the input order regardless of scheduling.
-func FromSamples(samples []*synth.Sample, workers int) (*Dataset, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// Options configures corpus assembly.
+type Options struct {
+	// Workers is the fan-out width; 0 means GOMAXPROCS.
+	Workers int
+	// SkipBad isolates samples that fail (bad disassembly, a panic in a
+	// feature extractor) instead of failing the whole build: the dataset
+	// completes on the survivors and the failures are returned in the
+	// SkipReport. Without SkipBad any failure aborts the build, but every
+	// per-sample failure is still collected — not just the first.
+	SkipBad bool
+	// Hook is the pool fault-injection hook, for tests.
+	Hook pool.Hook
+}
+
+// SkipReport accounts for samples dropped during a SkipBad build.
+type SkipReport struct {
+	// Total is the number of samples attempted.
+	Total int
+	// Skipped holds one entry per failed sample, in input order, each
+	// carrying the sample's index, name, and cause.
+	Skipped []*pool.ItemError
+}
+
+// Count returns the number of skipped samples.
+func (r *SkipReport) Count() int {
+	if r == nil {
+		return 0
 	}
+	return len(r.Skipped)
+}
+
+// Err returns the joined per-sample failures, or nil when none.
+func (r *SkipReport) Err() error {
+	if r.Count() == 0 {
+		return nil
+	}
+	errs := make([]error, len(r.Skipped))
+	for i, e := range r.Skipped {
+		errs[i] = e
+	}
+	return errors.Join(errs...)
+}
+
+// String summarises the report for progress output.
+func (r *SkipReport) String() string {
+	if r.Count() == 0 {
+		return "no samples skipped"
+	}
+	names := make([]string, 0, len(r.Skipped))
+	for _, e := range r.Skipped {
+		names = append(names, e.Name)
+	}
+	return fmt.Sprintf("skipped %d/%d samples: %s", r.Count(), r.Total, strings.Join(names, ", "))
+}
+
+// FromSamplesCtx disassembles every sample and extracts its feature
+// vector on the shared worker pool. The output order matches the input
+// order regardless of scheduling. The returned SkipReport is never nil;
+// with opts.SkipBad it lists the isolated failures, otherwise any failure
+// is also returned as the joined error (every failure, with sample name
+// and index — not just the first). Cancellation of ctx aborts the build
+// regardless of SkipBad.
+func FromSamplesCtx(ctx context.Context, samples []*synth.Sample, opts Options) (*Dataset, *SkipReport, error) {
 	records := make([]*Record, len(samples))
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(samples); i += workers {
-				s := samples[i]
-				cfg, err := ir.Disassemble(s.Prog)
-				if err != nil {
-					errs[w] = fmt.Errorf("dataset: sample %q: %w", s.Name, err)
-					return
-				}
-				label := LabelBenign
-				if s.Malicious {
-					label = LabelMalware
-				}
-				records[i] = &Record{
-					Sample: s,
-					Raw:    features.Extract(cfg.G()),
-					Label:  label,
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Run(ctx, len(samples), pool.Options{
+		Workers: opts.Workers,
+		Hook:    opts.Hook,
+		Name:    func(i int) string { return samples[i].Name },
+	}, func(_ context.Context, _, i int) error {
+		s := samples[i]
+		cfg, err := ir.Disassemble(s.Prog)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		label := LabelBenign
+		if s.Malicious {
+			label = LabelMalware
+		}
+		records[i] = &Record{
+			Sample: s,
+			Raw:    features.Extract(cfg.G()),
+			Label:  label,
+		}
+		return nil
+	})
+	report := &SkipReport{Total: len(samples), Skipped: pool.Failures(err)}
+	if ctx.Err() != nil {
+		return nil, report, fmt.Errorf("dataset: %w", err)
 	}
-	return &Dataset{Records: records}, nil
+	if err != nil && !opts.SkipBad {
+		return nil, report, fmt.Errorf("dataset: %w", err)
+	}
+	if report.Count() > 0 {
+		kept := make([]*Record, 0, len(records)-report.Count())
+		for _, r := range records {
+			if r != nil {
+				kept = append(kept, r)
+			}
+		}
+		records = kept
+	}
+	return &Dataset{Records: records}, report, nil
+}
+
+// FromSamples is FromSamplesCtx without cancellation or skipping: every
+// sample must convert, and on failure the error joins all per-sample
+// failures.
+func FromSamples(samples []*synth.Sample, workers int) (*Dataset, error) {
+	ds, _, err := FromSamplesCtx(context.Background(), samples, Options{Workers: workers})
+	return ds, err
 }
 
 // Len returns the number of records.

@@ -8,8 +8,8 @@ import (
 )
 
 func TestMergeNoSharedExitStructure(t *testing.T) {
-	orig := FigureOriginal()
-	target := FigureTarget()
+	orig := figOriginal(t)
+	target := figTarget(t)
 	merged, err := MergeNoSharedExit(orig, target)
 	if err != nil {
 		t.Fatal(err)
@@ -37,8 +37,8 @@ func TestMergeNoSharedExitStructure(t *testing.T) {
 }
 
 func TestMergeNoSharedExitPreservesFunctionality(t *testing.T) {
-	orig := FigureOriginal()
-	merged, err := MergeNoSharedExit(orig, FigureTarget())
+	orig := figOriginal(t)
+	merged, err := MergeNoSharedExit(orig, figTarget(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestMergeNoSharedExitPreservesFunctionality(t *testing.T) {
 }
 
 func TestMergeNoSharedExitRejectsInvalid(t *testing.T) {
-	valid := FigureOriginal()
+	valid := figOriginal(t)
 	if _, err := MergeNoSharedExit(&ir.Program{}, valid); err == nil {
 		t.Error("accepted invalid original")
 	}

@@ -1,6 +1,8 @@
 package gea
 
 import (
+	"fmt"
+
 	"advmal/internal/ir"
 )
 
@@ -11,7 +13,7 @@ import (
 //	movi r4, 0
 //	loop: addi r4, 1 ; cmpi r4, 9 ; jle loop
 //	movr r0, r4 ; ret
-func FigureOriginal() *ir.Program {
+func FigureOriginal() (*ir.Program, error) {
 	p, err := ir.NewAsm("fig2-original").
 		Emit(ir.MovI, 4, 0).
 		Label("loop").
@@ -22,10 +24,9 @@ func FigureOriginal() *ir.Program {
 		Emit(ir.Ret).
 		Build()
 	if err != nil {
-		// The program is a compile-time constant; failure is a bug.
-		panic(err)
+		return nil, fmt.Errorf("gea: figure original: %w", err)
 	}
-	return p
+	return p, nil
 }
 
 // FigureTarget returns the ir equivalent of the paper's Fig. 3 selected
@@ -35,7 +36,7 @@ func FigureOriginal() *ir.Program {
 //	movi r4, 1 ; movi r4, 2 ; movi r4, 10
 //	jmp end
 //	end: nop ; ret
-func FigureTarget() *ir.Program {
+func FigureTarget() (*ir.Program, error) {
 	p, err := ir.NewAsm("fig3-target").
 		Emit(ir.MovI, 4, 1).
 		Emit(ir.MovI, 4, 2).
@@ -46,7 +47,7 @@ func FigureTarget() *ir.Program {
 		Emit(ir.Ret).
 		Build()
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("gea: figure target: %w", err)
 	}
-	return p
+	return p, nil
 }

@@ -1,0 +1,41 @@
+package gea
+
+import (
+	"testing"
+
+	"advmal/internal/ir"
+)
+
+// figOriginal returns the Fig. 2 original program, failing the test on
+// error.
+func figOriginal(t testing.TB) *ir.Program {
+	t.Helper()
+	p, err := FigureOriginal()
+	if err != nil {
+		t.Fatalf("FigureOriginal: %v", err)
+	}
+	return p
+}
+
+// figTarget returns the Fig. 3 target program, failing the test on error.
+func figTarget(t testing.TB) *ir.Program {
+	t.Helper()
+	p, err := FigureTarget()
+	if err != nil {
+		t.Fatalf("FigureTarget: %v", err)
+	}
+	return p
+}
+
+// TestFiguresBuild guards the figure programs themselves: they must build
+// without error and validate.
+func TestFiguresBuild(t *testing.T) {
+	for name, p := range map[string]*ir.Program{
+		"original": figOriginal(t),
+		"target":   figTarget(t),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

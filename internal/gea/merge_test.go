@@ -18,8 +18,8 @@ func mustMerge(t *testing.T, orig, target *ir.Program) *ir.Program {
 }
 
 func TestMergeFigures(t *testing.T) {
-	orig := FigureOriginal()
-	target := FigureTarget()
+	orig := figOriginal(t)
+	target := figTarget(t)
 	merged := mustMerge(t, orig, target)
 
 	origCFG, err := ir.Disassemble(orig)
@@ -65,8 +65,8 @@ func TestMergeFigures(t *testing.T) {
 }
 
 func TestMergePreservesFunctionality(t *testing.T) {
-	orig := FigureOriginal()
-	merged := mustMerge(t, orig, FigureTarget())
+	orig := figOriginal(t)
+	merged := mustMerge(t, orig, figTarget(t))
 	if err := VerifyEquivalent(orig, merged, synth.ProbeInputs()); err != nil {
 		t.Fatalf("VerifyEquivalent: %v", err)
 	}
@@ -93,15 +93,15 @@ func TestMergePreservesFunctionality(t *testing.T) {
 func TestMergeIsSymmetricallyUsable(t *testing.T) {
 	// Merging in the opposite direction also works and preserves the
 	// *other* program's behaviour.
-	orig := FigureTarget()
-	merged := mustMerge(t, orig, FigureOriginal())
+	orig := figTarget(t)
+	merged := mustMerge(t, orig, figOriginal(t))
 	if err := VerifyEquivalent(orig, merged, synth.ProbeInputs()); err != nil {
 		t.Fatalf("reverse merge: %v", err)
 	}
 }
 
 func TestMergeRejectsInvalidPrograms(t *testing.T) {
-	valid := FigureOriginal()
+	valid := figOriginal(t)
 	if _, err := Merge(&ir.Program{}, valid); err == nil {
 		t.Error("Merge accepted invalid original")
 	}
@@ -111,8 +111,8 @@ func TestMergeRejectsInvalidPrograms(t *testing.T) {
 }
 
 func TestMergeDoesNotMutateInputs(t *testing.T) {
-	orig := FigureOriginal()
-	target := FigureTarget()
+	orig := figOriginal(t)
+	target := figTarget(t)
 	origLen, targetLen := len(orig.Code), len(target.Code)
 	origJle := orig.Code[3]
 	mustMerge(t, orig, target)
@@ -125,7 +125,7 @@ func TestMergeDoesNotMutateInputs(t *testing.T) {
 }
 
 func TestVerifyEquivalentDetectsDivergence(t *testing.T) {
-	orig := FigureOriginal()
+	orig := figOriginal(t)
 	broken := orig.Clone()
 	// Change the loop bound: result differs.
 	broken.Code[2].B = 5
@@ -136,7 +136,7 @@ func TestVerifyEquivalentDetectsDivergence(t *testing.T) {
 }
 
 func TestVerifyEquivalentRunErrors(t *testing.T) {
-	orig := FigureOriginal()
+	orig := figOriginal(t)
 	if err := VerifyEquivalent(&ir.Program{}, orig, synth.ProbeInputs()); err == nil {
 		t.Error("VerifyEquivalent accepted invalid original")
 	}
@@ -202,7 +202,7 @@ func TestMergeNodeAccounting(t *testing.T) {
 
 func TestFigurePrograms(t *testing.T) {
 	it := &ir.Interp{}
-	tr, err := it.Run(FigureOriginal())
+	tr, err := it.Run(figOriginal(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestFigurePrograms(t *testing.T) {
 	if tr.Result != 10 {
 		t.Errorf("fig2 result = %d, want 10", tr.Result)
 	}
-	tr, err = it.Run(FigureTarget())
+	tr, err = it.Run(figTarget(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestTruncateTargetFullKeepsProgram(t *testing.T) {
-	target := FigureOriginal()
+	target := figOriginal(t)
 	got, err := TruncateTarget(target, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestTruncateTargetPrefixValidates(t *testing.T) {
 }
 
 func TestTruncateTargetBadK(t *testing.T) {
-	if _, err := TruncateTarget(FigureOriginal(), 0); err == nil {
+	if _, err := TruncateTarget(figOriginal(t), 0); err == nil {
 		t.Error("TruncateTarget accepted k=0")
 	}
 }

@@ -10,7 +10,7 @@ import (
 )
 
 func TestAddNodesEdgesExactDeltas(t *testing.T) {
-	orig := FigureOriginal()
+	orig := figOriginal(t)
 	base, err := ir.Disassemble(orig)
 	if err != nil {
 		t.Fatal(err)
@@ -53,7 +53,7 @@ func TestAddNodesEdgesPreservesBehaviour(t *testing.T) {
 }
 
 func TestAddNodesEdgesRejectsImpossible(t *testing.T) {
-	orig := FigureOriginal()
+	orig := figOriginal(t)
 	tests := []struct{ dn, de int }{
 		{0, 0}, {-1, 0}, {1, -1}, {1, 3}, {2, 5},
 	}
@@ -70,7 +70,7 @@ func TestAddNodesEdgesRejectsImpossible(t *testing.T) {
 func TestAddNodesEdgesFullConditionalLoad(t *testing.T) {
 	// deltaEdges == 2*deltaNodes needs a trailing block and must be
 	// rejected rather than silently over-shooting.
-	if _, err := AddNodesEdges(FigureOriginal(), 2, 4); !errors.Is(err, ErrNotRealizable) {
+	if _, err := AddNodesEdges(figOriginal(t), 2, 4); !errors.Is(err, ErrNotRealizable) {
 		t.Errorf("err = %v, want ErrNotRealizable", err)
 	}
 }

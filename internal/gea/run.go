@@ -1,14 +1,15 @@
 package gea
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"advmal/internal/features"
 	"advmal/internal/ir"
 	"advmal/internal/nn"
+	"advmal/internal/pool"
 	"advmal/internal/synth"
 )
 
@@ -28,6 +29,8 @@ type Pipeline struct {
 	// VerifyInputs are the probe inputs used when Verify is set; nil
 	// selects synth.ProbeInputs.
 	VerifyInputs [][]int64
+	// Hook is the pool fault-injection hook, for tests.
+	Hook pool.Hook
 }
 
 // Row is one row of Tables IV-VII: one target graph evaluated against
@@ -42,6 +45,12 @@ type Row struct {
 	MR          float64       `json:"mr"`
 	AvgCT       time.Duration `json:"avg_ct"`
 	Verified    int           `json:"verified"` // functionality-preserving count
+	// Skipped counts originals whose crafting failed (merge, disassembly,
+	// scaling, verification, or a panic); they are isolated and excluded
+	// from Total and every aggregate.
+	Skipped int `json:"skipped,omitempty"`
+	// SkipReasons lists one line per skipped original.
+	SkipReasons []string `json:"skip_reasons,omitempty"`
 }
 
 // String renders the row like the paper's GEA tables.
@@ -50,57 +59,87 @@ func (r Row) String() string {
 	if label == "" {
 		label = r.TargetName
 	}
-	return fmt.Sprintf("%-8s nodes=%4d edges=%4d MR=%6.2f%% CT=%9.3fms (n=%d, verified=%d)",
+	s := fmt.Sprintf("%-8s nodes=%4d edges=%4d MR=%6.2f%% CT=%9.3fms (n=%d, verified=%d)",
 		label, r.TargetNodes, r.TargetEdges, r.MR*100,
 		float64(r.AvgCT.Microseconds())/1000, r.Total, r.Verified)
+	if r.Skipped > 0 {
+		s += fmt.Sprintf(" [skipped=%d]", r.Skipped)
+	}
+	return s
 }
 
-// RunTarget crafts one GEA adversarial sample per original and measures
-// how many flip to the class opposite their true one. origs must all
-// share a true class; wantLabel is that class's opposite (the adversary's
-// goal). Crafting time covers the full pipeline per sample: merge,
-// disassembly, feature extraction, scaling, and classification, which is
-// why CT grows with target size as in the paper.
+// RunTarget is RunTargetCtx without cancellation.
 func (p *Pipeline) RunTarget(origs []*synth.Sample, target *synth.Sample, wantLabel int) (Row, error) {
+	return p.RunTargetCtx(context.Background(), origs, target, wantLabel)
+}
+
+// RunTargetCtx crafts one GEA adversarial sample per original on the
+// shared worker pool and measures how many flip to the class opposite
+// their true one. origs must all share a true class; wantLabel is that
+// class's opposite (the adversary's goal). Crafting time covers the full
+// pipeline per sample: merge, disassembly, feature extraction, scaling,
+// and classification, which is why CT grows with target size as in the
+// paper.
+//
+// An original whose crafting fails (a merge/disassembly/scaling error, a
+// failed functionality verification, or a panic in a stage) is isolated,
+// recorded in Row.Skipped and Row.SkipReasons, and excluded from the
+// aggregates; the row completes on the survivors. The returned error is
+// non-nil only when ctx is cancelled.
+func (p *Pipeline) RunTargetCtx(ctx context.Context, origs []*synth.Sample, target *synth.Sample, wantLabel int) (Row, error) {
 	row := Row{
 		TargetName:  target.Name,
 		TargetNodes: target.Nodes,
 		TargetEdges: target.Edges,
-		Total:       len(origs),
 	}
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(origs) && len(origs) > 0 {
+		workers = len(origs)
 	}
 	verifyInputs := p.VerifyInputs
 	if p.Verify && verifyInputs == nil {
 		verifyInputs = synth.ProbeInputs()
 	}
 	type outcome struct {
+		ok       bool
 		mis      bool
 		verified bool
 		ct       time.Duration
-		err      error
 	}
 	outs := make([]outcome, len(origs))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			clone := p.Net.CloneShared()
-			for i := w; i < len(origs); i += workers {
-				outs[i] = p.craftOne(clone, origs[i], target, wantLabel, verifyInputs)
-			}
-		}(w)
+	clones := make([]*nn.Network, workers)
+	for w := range clones {
+		clones[w] = p.Net.CloneShared()
 	}
-	wg.Wait()
-	var ctSum int64
-	for i, o := range outs {
+	err := pool.Run(ctx, len(origs), pool.Options{
+		Workers: workers,
+		Hook:    p.Hook,
+		Name:    func(i int) string { return origs[i].Name },
+	}, func(_ context.Context, w, i int) error {
+		o := p.craftOne(clones[w], origs[i], target, wantLabel, verifyInputs)
 		if o.err != nil {
-			return row, fmt.Errorf("gea: sample %q vs target %q: %w",
-				origs[i].Name, target.Name, o.err)
+			return o.err
 		}
+		outs[i] = outcome{ok: true, mis: o.mis, verified: o.verified, ct: o.ct}
+		return nil
+	})
+	if ctx.Err() != nil {
+		return row, fmt.Errorf("gea: target %q: %w", target.Name, err)
+	}
+	for _, f := range pool.Failures(err) {
+		row.Skipped++
+		row.SkipReasons = append(row.SkipReasons,
+			fmt.Sprintf("%s vs target %s: %v", f.Name, target.Name, f.Err))
+	}
+	var ctSum int64
+	for _, o := range outs {
+		if !o.ok {
+			continue
+		}
+		row.Total++
 		if o.mis {
 			row.Misclass++
 		}
@@ -152,11 +191,16 @@ func (p *Pipeline) craftOne(net *nn.Network, orig, target *synth.Sample, wantLab
 	return o
 }
 
-// RunSizeExperiment reproduces Table IV (malware->benign when
+// RunSizeExperiment is RunSizeExperimentCtx without cancellation.
+func (p *Pipeline) RunSizeExperiment(origs, targetPool []*synth.Sample, targetMalicious bool) ([]Row, error) {
+	return p.RunSizeExperimentCtx(context.Background(), origs, targetPool, targetMalicious)
+}
+
+// RunSizeExperimentCtx reproduces Table IV (malware->benign when
 // targetMalicious is false) or Table V (benign->malware when true): the
 // minimum-, median-, and maximum-size target of the target class is
 // merged with every original of the opposite class.
-func (p *Pipeline) RunSizeExperiment(origs, targetPool []*synth.Sample, targetMalicious bool) ([]Row, error) {
+func (p *Pipeline) RunSizeExperimentCtx(ctx context.Context, origs, targetPool []*synth.Sample, targetMalicious bool) ([]Row, error) {
 	targets, err := SelectBySize(targetPool, targetMalicious)
 	if err != nil {
 		return nil, err
@@ -171,7 +215,7 @@ func (p *Pipeline) RunSizeExperiment(origs, targetPool []*synth.Sample, targetMa
 	}
 	rows := make([]Row, 0, 3)
 	for _, t := range targets.Rows() {
-		row, err := p.RunTarget(origSet, t.Sample, wantLabel)
+		row, err := p.RunTargetCtx(ctx, origSet, t.Sample, wantLabel)
 		if err != nil {
 			return nil, err
 		}
@@ -181,11 +225,17 @@ func (p *Pipeline) RunSizeExperiment(origs, targetPool []*synth.Sample, targetMa
 	return rows, nil
 }
 
-// RunFixedNodesExperiment reproduces Table VI (targetMalicious=false,
+// RunFixedNodesExperiment is RunFixedNodesExperimentCtx without
+// cancellation.
+func (p *Pipeline) RunFixedNodesExperiment(origs, targetPool []*synth.Sample, targetMalicious bool, numGroups, perGroup int) ([]Row, error) {
+	return p.RunFixedNodesExperimentCtx(context.Background(), origs, targetPool, targetMalicious, numGroups, perGroup)
+}
+
+// RunFixedNodesExperimentCtx reproduces Table VI (targetMalicious=false,
 // malware->benign) or Table VII (targetMalicious=true): for each of
 // numGroups node counts, perGroup targets with distinct edge counts are
 // merged with every original of the opposite class.
-func (p *Pipeline) RunFixedNodesExperiment(origs, targetPool []*synth.Sample, targetMalicious bool, numGroups, perGroup int) ([]Row, error) {
+func (p *Pipeline) RunFixedNodesExperimentCtx(ctx context.Context, origs, targetPool []*synth.Sample, targetMalicious bool, numGroups, perGroup int) ([]Row, error) {
 	groups, err := SelectFixedNodes(targetPool, targetMalicious, numGroups, perGroup)
 	if err != nil {
 		return nil, err
@@ -201,7 +251,7 @@ func (p *Pipeline) RunFixedNodesExperiment(origs, targetPool []*synth.Sample, ta
 	var rows []Row
 	for _, g := range groups {
 		for _, t := range g.Samples {
-			row, err := p.RunTarget(origSet, t, wantLabel)
+			row, err := p.RunTargetCtx(ctx, origSet, t, wantLabel)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,137 @@
+package ir
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseOversizedProgram checks the parser rejects inputs over
+// MaxProgramLen with an error instead of buffering them all.
+func TestParseOversizedProgram(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i <= MaxProgramLen; i++ {
+		sb.WriteString("nop\n")
+	}
+	sb.WriteString("ret\n")
+	_, err := Parse(sb.String())
+	if err == nil {
+		t.Fatal("Parse accepted a program over MaxProgramLen")
+	}
+	if !errors.Is(err, ErrParse) || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrParse wrapping ErrTooLarge, got %v", err)
+	}
+}
+
+// TestParseAtSizeLimit checks the cap is not off by one: exactly
+// MaxProgramLen instructions must still parse.
+func TestParseAtSizeLimit(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < MaxProgramLen-1; i++ {
+		sb.WriteString("nop\n")
+	}
+	sb.WriteString("ret\n")
+	p, err := Parse(sb.String())
+	if err != nil {
+		t.Fatalf("Parse rejected a program at the size limit: %v", err)
+	}
+	if len(p.Code) != MaxProgramLen {
+		t.Fatalf("got %d instructions, want %d", len(p.Code), MaxProgramLen)
+	}
+}
+
+// TestValidateOversizedProgram checks hand-built oversized programs are
+// rejected the same way (the Disassemble/Interp entry points validate).
+func TestValidateOversizedProgram(t *testing.T) {
+	p := &Program{Name: "huge", Code: make([]Instr, MaxProgramLen+1)}
+	for i := range p.Code {
+		p.Code[i] = Instr{Op: Nop}
+	}
+	p.Code[len(p.Code)-1] = Instr{Op: Ret}
+	if err := p.Validate(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+// TestInterpUnterminatedLoopHitsBudget runs a program whose loop never
+// exits and checks the interpreter cuts it off at the step budget
+// promptly — an error, never a hang.
+func TestInterpUnterminatedLoopHitsBudget(t *testing.T) {
+	p, err := NewAsm("spin").
+		Label("top").
+		Emit(AddI, 0, 1).
+		Jump(Jmp, "top").
+		Emit(Ret).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	it := &Interp{MaxSteps: 10_000}
+	_, err = it.Run(p)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("want ErrStepBudget, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("budget cutoff took %v; interpreter is not bounding work", d)
+	}
+}
+
+// TestInterpDefaultBudgetBoundsUnterminatedLoop is the same check with
+// the zero-value interpreter: callers who forget MaxSteps still get the
+// DefaultMaxSteps bound rather than an infinite loop.
+func TestInterpDefaultBudgetBoundsUnterminatedLoop(t *testing.T) {
+	p, err := NewAsm("spin").
+		Label("top").
+		Jump(Jmp, "top").
+		Emit(Ret).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := &Interp{}
+	if _, err := it.Run(p); !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("want ErrStepBudget, got %v", err)
+	}
+}
+
+// TestParseMalformedNeverPanics throws structurally hostile inputs at
+// the parser; each must come back as an error (or a valid program),
+// never a panic.
+func TestParseMalformedNeverPanics(t *testing.T) {
+	inputs := []string{
+		"",
+		"\n\n\n",
+		":",
+		"::::",
+		"mov",
+		"mov r0",
+		"mov r0, r1, r2",
+		"jmp @999999",
+		"jmp @-1",
+		"load r0, [99999]",
+		"store [99999], r0",
+		"movi r99, 1\nret",
+		"bogus r0, r1\nret",
+		"movi r0, 99999999999999999999\nret",
+		strings.Repeat("x", 1<<16),
+		"; only a comment",
+		"0: ret extra",
+	}
+	for _, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("Parse(%.40q) panicked: %v", in, r)
+				}
+			}()
+			p, err := Parse(in)
+			if err == nil && p != nil {
+				if verr := p.Validate(); verr != nil {
+					t.Errorf("Parse(%.40q) returned invalid program: %v", in, verr)
+				}
+			}
+		}()
+	}
+}

@@ -47,6 +47,11 @@ func Parse(text string) (*Program, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: line %d: %v", ErrParse, lineNo+1, err)
 		}
+		if len(p.Code) >= MaxProgramLen {
+			// Fail fast rather than buffering an arbitrarily large input
+			// only for Validate to reject it.
+			return nil, fmt.Errorf("%w: %w (max %d instructions)", ErrParse, ErrTooLarge, MaxProgramLen)
+		}
 		p.Code = append(p.Code, ins)
 	}
 	if err := p.Validate(); err != nil {

@@ -18,7 +18,15 @@ var (
 	ErrNoRet = errors.New("ir: program has no ret")
 	// ErrUnknownLabel indicates a reference to an undefined assembler label.
 	ErrUnknownLabel = errors.New("ir: unknown label")
+	// ErrTooLarge indicates a program over MaxProgramLen instructions.
+	ErrTooLarge = errors.New("ir: program too large")
 )
+
+// MaxProgramLen bounds program size. Synthetic corpus samples and GEA
+// merges stay far below this; the cap exists so hostile or corrupt
+// assembly text cannot drive unbounded allocation downstream (CFG
+// construction is O(n), feature extraction up to O(n^2)).
+const MaxProgramLen = 1 << 16
 
 // Program is a single-function program: a linear instruction stream with
 // jump targets encoded as absolute instruction indices.
@@ -41,6 +49,9 @@ func (p *Program) Clone() *Program {
 func (p *Program) Validate() error {
 	if len(p.Code) == 0 {
 		return ErrEmptyProgram
+	}
+	if len(p.Code) > MaxProgramLen {
+		return fmt.Errorf("%w: %d instructions (max %d)", ErrTooLarge, len(p.Code), MaxProgramLen)
 	}
 	hasRet := false
 	for idx, ins := range p.Code {

@@ -1,12 +1,19 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"advmal/internal/tensor"
 )
+
+// ErrBadInput indicates an input vector the network cannot process — a
+// wrong dimension or a value that makes a layer panic. Serving paths use
+// the Safe* methods so untrusted feature vectors surface this error
+// instead of crashing the process.
+var ErrBadInput = errors.New("nn: bad input")
 
 // Network is a feed-forward stack of layers whose final output is the
 // logit vector. The zero value is unusable; build with NewNetwork or
@@ -111,6 +118,42 @@ func (n *Network) Backward(dLogits []float64) []float64 {
 		g = n.layers[i].Backward(g)
 	}
 	return g.Data
+}
+
+// SafeForward is Forward with the layer-panic boundary: a shape mismatch
+// or any other panic raised by a layer on an untrusted input is recovered
+// and returned as an error wrapping ErrBadInput. The input dimension is
+// validated up front.
+func (n *Network) SafeForward(x []float64, train bool) (out []float64, err error) {
+	if len(x) != n.InputDim() {
+		return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), n.InputDim())
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: layer panic: %v", ErrBadInput, r)
+		}
+	}()
+	return n.Forward(x, train), nil
+}
+
+// SafeBackward is Backward with the same panic boundary as SafeForward.
+func (n *Network) SafeBackward(dLogits []float64) (g []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("%w: layer panic: %v", ErrBadInput, r)
+		}
+	}()
+	return n.Backward(dLogits), nil
+}
+
+// SafeProbs returns the softmax class probabilities for x with the
+// layer-panic boundary applied — the serving-path counterpart of Probs.
+func (n *Network) SafeProbs(x []float64) ([]float64, error) {
+	logits, err := n.SafeForward(x, false)
+	if err != nil {
+		return nil, err
+	}
+	return Softmax(logits), nil
 }
 
 // Logits runs an eval-mode forward pass.

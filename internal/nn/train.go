@@ -1,13 +1,15 @@
 package nn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
 	"runtime"
-	"sync"
+
+	"advmal/internal/pool"
 )
 
 // Training errors.
@@ -144,8 +146,21 @@ type History struct {
 	Stopped  int // epoch at which early stopping triggered; 0 if none
 }
 
-// Fit trains net on (X, y). Labels must be in [0, net.NumClasses()).
+// Fit trains net on (X, y) without cancellation. Labels must be in
+// [0, net.NumClasses()).
 func (t *Trainer) Fit(net *Network, x [][]float64, y []int) (*History, error) {
+	return t.FitCtx(context.Background(), net, x, y)
+}
+
+// FitCtx trains net on (X, y), checking ctx between batches so long runs
+// can be cancelled or time-boxed; on cancellation it returns the partial
+// history alongside the context's error. Per-batch sample processing fans
+// out on the shared worker pool with a strided worker→sample binding, so
+// results are byte-identical for a fixed Seed and Workers regardless of
+// scheduling. A panic inside a layer (a poisoned feature vector) is
+// captured by the pool and returned as an error instead of crashing the
+// process.
+func (t *Trainer) FitCtx(ctx context.Context, net *Network, x [][]float64, y []int) (*History, error) {
 	if len(x) == 0 || len(x) != len(y) {
 		return nil, fmt.Errorf("%w: %d samples, %d labels", ErrNoTrainData, len(x), len(y))
 	}
@@ -220,38 +235,35 @@ func (t *Trainer) Fit(net *Network, x [][]float64, y []int) (*History, error) {
 			}
 			losses := make([]float64, workers)
 			hits := make([]int, workers)
-			var wg sync.WaitGroup
-			for w := 0; w < workers; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
+			err := pool.Run(ctx, len(chunk), pool.Options{Workers: workers, Strided: true},
+				func(_ context.Context, w, k int) error {
 					c := clones[w]
-					for k := w; k < len(chunk); k += workers {
-						i := chunk[k]
-						xi := x[i]
-						if t.Augment != nil {
-							if ax := t.Augment(scratch[w], i, xi, y[i]); ax != nil {
-								xi = ax
-							}
+					i := chunk[k]
+					xi := x[i]
+					if t.Augment != nil {
+						if ax := t.Augment(scratch[w], i, xi, y[i]); ax != nil {
+							xi = ax
 						}
-						logits := c.Forward(xi, true)
-						loss, dLogits := SoftmaxCE(logits, y[i])
-						if t.ClassWeights != nil {
-							cw := t.ClassWeights[y[i]]
-							loss *= cw
-							for j := range dLogits {
-								dLogits[j] *= cw
-							}
-						}
-						losses[w] += loss
-						if Argmax(logits) == y[i] {
-							hits[w]++
-						}
-						c.Backward(dLogits)
 					}
-				}(w)
+					logits := c.Forward(xi, true)
+					loss, dLogits := SoftmaxCE(logits, y[i])
+					if t.ClassWeights != nil {
+						cw := t.ClassWeights[y[i]]
+						loss *= cw
+						for j := range dLogits {
+							dLogits[j] *= cw
+						}
+					}
+					losses[w] += loss
+					if Argmax(logits) == y[i] {
+						hits[w]++
+					}
+					c.Backward(dLogits)
+					return nil
+				})
+			if err != nil {
+				return hist, fmt.Errorf("nn: epoch %d: %w", epoch, err)
 			}
-			wg.Wait()
 			// Reduce clone gradients into the master parameters in a
 			// fixed order for determinism.
 			for pi, p := range params {

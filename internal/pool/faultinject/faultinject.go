@@ -1,0 +1,105 @@
+// Package faultinject deterministically injects faults into pool runs.
+// It is the test harness for the pipeline's robustness invariants: wire a
+// Plan into pool.Options.Hook (every fan-out site exposes that hook) and
+// assert that injected errors and panics are isolated per item, hangs are
+// cut off by context cancellation, and the surviving items' results are
+// byte-identical to an un-faulted run.
+package faultinject
+
+import (
+	"context"
+	"sync"
+
+	"advmal/internal/pool"
+)
+
+// Kind is the class of injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// Error makes the item fail with the planned error.
+	Error Kind = iota
+	// Panic makes the item panic with the planned value.
+	Panic
+	// Hang blocks the item until its context is cancelled, then fails it
+	// with the context's error. It models a stuck stage: cooperative with
+	// cancellation but never finishing on its own.
+	Hang
+)
+
+type fault struct {
+	kind  Kind
+	err   error
+	value any
+}
+
+// Plan is a deterministic schedule of faults keyed by item index. The
+// zero value is unusable; build with New. A Plan is safe for concurrent
+// use by the pool's workers.
+type Plan struct {
+	mu     sync.Mutex
+	faults map[int]fault
+	fired  map[int]int
+}
+
+// New returns an empty fault plan.
+func New() *Plan {
+	return &Plan{faults: make(map[int]fault), fired: make(map[int]int)}
+}
+
+// Error plans an error fault for index. Returns the plan for chaining.
+func (p *Plan) Error(index int, err error) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults[index] = fault{kind: Error, err: err}
+	return p
+}
+
+// Panic plans a panic fault for index.
+func (p *Plan) Panic(index int, value any) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults[index] = fault{kind: Panic, value: value}
+	return p
+}
+
+// Hang plans a hang fault for index.
+func (p *Plan) Hang(index int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faults[index] = fault{kind: Hang}
+	return p
+}
+
+// Fired returns how many times the fault planned at index triggered.
+func (p *Plan) Fired(index int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired[index]
+}
+
+// Hook returns the pool hook that realises the plan. Items without a
+// planned fault pass through untouched.
+func (p *Plan) Hook() pool.Hook {
+	return func(ctx context.Context, index int) error {
+		p.mu.Lock()
+		f, ok := p.faults[index]
+		if ok {
+			p.fired[index]++
+		}
+		p.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		switch f.kind {
+		case Panic:
+			panic(f.value)
+		case Hang:
+			<-ctx.Done()
+			return ctx.Err()
+		default:
+			return f.err
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"advmal/internal/pool"
+)
+
+// run executes a reference pool stage (out[i] = 3*i+1) of size n with the
+// given plan and returns the outputs plus the run error.
+func run(ctx context.Context, n int, plan *Plan) ([]int, error) {
+	out := make([]int, n)
+	var hook pool.Hook
+	if plan != nil {
+		hook = plan.Hook()
+	}
+	err := pool.Run(ctx, n, pool.Options{Workers: 4, Hook: hook},
+		func(_ context.Context, _, i int) error {
+			out[i] = 3*i + 1
+			return nil
+		})
+	return out, err
+}
+
+// TestInjectedErrorsAndPanicsAreIsolated: faulted items are skipped and
+// reported; every surviving item's result is byte-identical to the
+// un-faulted run.
+func TestInjectedErrorsAndPanicsAreIsolated(t *testing.T) {
+	const n = 40
+	clean, err := run(context.Background(), n, nil)
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	boom := errors.New("injected")
+	plan := New().Error(3, boom).Panic(17, "injected panic").Error(31, boom)
+	out, err := run(context.Background(), n, plan)
+	fails := pool.Failures(err)
+	if len(fails) != 3 {
+		t.Fatalf("failures = %v, want 3", fails)
+	}
+	faulted := map[int]bool{3: true, 17: true, 31: true}
+	for _, f := range fails {
+		if !faulted[f.Index] {
+			t.Errorf("unexpected failure at %d: %v", f.Index, f)
+		}
+	}
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) || pe.Value != "injected panic" {
+		t.Errorf("panic fault not captured as PanicError: %v", err)
+	}
+	for i := range clean {
+		if faulted[i] {
+			continue
+		}
+		if out[i] != clean[i] {
+			t.Errorf("survivor %d = %d, want %d (must match un-faulted run)", i, out[i], clean[i])
+		}
+	}
+	for idx := range faulted {
+		if plan.Fired(idx) != 1 {
+			t.Errorf("fault at %d fired %d times, want 1", idx, plan.Fired(idx))
+		}
+	}
+}
+
+// TestInjectedHangIsCutOffByCancellation: a hang fault blocks until the
+// context deadline, then the run returns promptly with the context error
+// and correct partial-result accounting.
+func TestInjectedHangIsCutOffByCancellation(t *testing.T) {
+	const n = 16
+	plan := New().Hang(5)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	out, err := run(ctx, n, plan)
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("hang not cut off: took %v", elapsed)
+	}
+	if !pool.Cancelled(err) {
+		t.Fatalf("Cancelled = false, err = %v", err)
+	}
+	if plan.Fired(5) != 1 {
+		t.Fatalf("hang fired %d times, want 1", plan.Fired(5))
+	}
+	// The hung item must be accounted a failure, not a silent zero.
+	hungFailed := false
+	for _, f := range pool.Failures(err) {
+		if f.Index == 5 {
+			hungFailed = true
+			if !errors.Is(f, context.DeadlineExceeded) {
+				t.Errorf("hung item error = %v, want DeadlineExceeded", f.Err)
+			}
+		}
+	}
+	if !hungFailed {
+		t.Error("hung item missing from failure report")
+	}
+	if out[5] != 0 {
+		t.Errorf("hung item produced a result: %d", out[5])
+	}
+}
+
+// TestNoGoroutineLeakUnderFaults: cancelled and faulted runs leave no
+// goroutines behind.
+func TestNoGoroutineLeakUnderFaults(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 30; k++ {
+		plan := New().Hang(0).Panic(1, "p").Error(2, errors.New("e"))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		_, _ = run(ctx, 8, plan)
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestOrderDeterminismUnderFaults: with faults planned, the surviving
+// outputs are identical across repeated runs and worker counts.
+func TestOrderDeterminismUnderFaults(t *testing.T) {
+	const n = 50
+	var ref []int
+	for trial := 0; trial < 5; trial++ {
+		plan := New().Error(10, errors.New("x")).Panic(20, "y")
+		out := make([]int, n)
+		err := pool.Run(context.Background(), n,
+			pool.Options{Workers: 1 + trial*3, Hook: plan.Hook()},
+			func(_ context.Context, _, i int) error {
+				out[i] = i*7 + 1
+				return nil
+			})
+		if got := len(pool.Failures(err)); got != 2 {
+			t.Fatalf("trial %d: %d failures, want 2", trial, got)
+		}
+		if ref == nil {
+			ref = out
+			continue
+		}
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("trial %d: out[%d] = %d, want %d", trial, i, out[i], ref[i])
+			}
+		}
+	}
+}

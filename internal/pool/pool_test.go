@@ -1,0 +1,214 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunOrderDeterministic: output written by index equals the sequential
+// result for every worker count, including under staggered item latency.
+func TestRunOrderDeterministic(t *testing.T) {
+	const n = 64
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 3, 7, 16, 100} {
+		out := make([]int, n)
+		err := Run(context.Background(), n, Options{Workers: workers}, func(_ context.Context, _, i int) error {
+			if i%5 == 0 {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+			}
+			out[i] = i * i
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStridedBinding: with Strided, item i must be processed by worker
+// i % workers, the binding the trainer's per-clone RNG streams rely on.
+func TestStridedBinding(t *testing.T) {
+	const n, workers = 23, 4
+	got := make([]int, n)
+	err := Run(context.Background(), n, Options{Workers: workers, Strided: true},
+		func(_ context.Context, w, i int) error {
+			got[i] = w
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range got {
+		if w != i%workers {
+			t.Errorf("item %d ran on worker %d, want %d", i, w, i%workers)
+		}
+	}
+}
+
+// TestPerItemErrorsJoined: every failing item is reported (not just the
+// first), in index order, with names attached.
+func TestPerItemErrorsJoined(t *testing.T) {
+	boom := errors.New("boom")
+	err := Run(context.Background(), 10, Options{
+		Workers: 3,
+		Name:    func(i int) string { return fmt.Sprintf("sample-%02d", i) },
+	}, func(_ context.Context, _, i int) error {
+		if i%4 == 1 { // items 1, 5, 9
+			return fmt.Errorf("%w at %d", boom, i)
+		}
+		return nil
+	})
+	fails := Failures(err)
+	if len(fails) != 3 {
+		t.Fatalf("Failures = %d, want 3: %v", len(fails), err)
+	}
+	wantIdx := []int{1, 5, 9}
+	for k, f := range fails {
+		if f.Index != wantIdx[k] {
+			t.Errorf("failure %d index = %d, want %d", k, f.Index, wantIdx[k])
+		}
+		if want := fmt.Sprintf("sample-%02d", f.Index); f.Name != want {
+			t.Errorf("failure %d name = %q, want %q", k, f.Name, want)
+		}
+		if !errors.Is(f, boom) {
+			t.Errorf("failure %d does not unwrap to boom: %v", k, f)
+		}
+	}
+	if Cancelled(err) {
+		t.Error("Cancelled = true for pure item failures")
+	}
+}
+
+// TestPanicIsolation: a panicking item becomes a *PanicError; the other
+// items complete untouched.
+func TestPanicIsolation(t *testing.T) {
+	const n = 20
+	done := make([]bool, n)
+	err := Run(context.Background(), n, Options{Workers: 4}, func(_ context.Context, _, i int) error {
+		if i == 7 {
+			panic("poisoned input")
+		}
+		done[i] = true
+		return nil
+	})
+	fails := Failures(err)
+	if len(fails) != 1 || fails[0].Index != 7 {
+		t.Fatalf("Failures = %v, want one failure at index 7", fails)
+	}
+	var pe *PanicError
+	if !errors.As(fails[0], &pe) || pe.Value != "poisoned input" {
+		t.Fatalf("failure cause = %v, want PanicError(poisoned input)", fails[0].Err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	for i, ok := range done {
+		if i != 7 && !ok {
+			t.Errorf("item %d did not complete", i)
+		}
+	}
+}
+
+// TestCancellationPrompt: cancelling the context stops the run promptly
+// even though one item hangs until cancelled, and the error reports the
+// cancellation.
+func TestCancellationPrompt(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	go func() {
+		for started.Load() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	t0 := time.Now()
+	err := Run(ctx, 1000, Options{Workers: 2}, func(ctx context.Context, _, i int) error {
+		started.Add(1)
+		if i == 0 { // a hang, cooperative with ctx
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if elapsed := time.Since(t0); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+	if !Cancelled(err) {
+		t.Fatalf("Cancelled = false, err = %v", err)
+	}
+}
+
+// TestDeadline: a context deadline cuts off a hanging run.
+func TestDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err := Run(ctx, 4, Options{Workers: 4}, func(ctx context.Context, _, i int) error {
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestNoGoroutineLeak: repeated runs (including cancelled and faulted
+// ones) leave no goroutines behind.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for k := 0; k < 50; k++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = Run(ctx, 32, Options{Workers: 8}, func(ctx context.Context, _, i int) error {
+			switch i % 3 {
+			case 0:
+				return errors.New("e")
+			case 1:
+				panic("p")
+			default:
+				return nil
+			}
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+// TestZeroItems: an empty run returns immediately with the ctx state.
+func TestZeroItems(t *testing.T) {
+	if err := Run(context.Background(), 0, Options{}, nil); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := Run(ctx, 0, Options{}, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("empty cancelled run: %v", err)
+	}
+}
+
+// TestFailuresNil: Failures on nil is nil.
+func TestFailuresNil(t *testing.T) {
+	if fails := Failures(nil); fails != nil {
+		t.Fatalf("Failures(nil) = %v", fails)
+	}
+}
