@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused
 
 build:
 	$(GO) build ./...
@@ -25,4 +25,21 @@ fault:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'
 
-check: build race
+# Refresh the committed perf-trajectory snapshot (full sizes + the
+# trained-detector attack benches). See EXPERIMENTS.md §Benchmark
+# snapshots for how to read it.
+bench-snapshot:
+	$(GO) run ./cmd/bench -o BENCH_extract.json
+
+# Smoke-run the snapshot harness at reduced sizes; the JSON goes to a
+# scratch file so the committed snapshot only changes via bench-snapshot.
+bench-short:
+	$(GO) run ./cmd/bench -short -o /tmp/BENCH_extract.short.json
+
+# The fused extraction engine + content-keyed cache under the race
+# detector: the single-sweep/naive equivalence properties and the
+# concurrent cache tests.
+race-fused:
+	$(GO) test -race -run 'Sweep|Profile|Fused|Extractor' ./internal/graph/ ./internal/features/
+
+check: build race race-fused bench-short

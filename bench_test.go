@@ -106,6 +106,53 @@ func BenchmarkTableII_FeatureExtraction(b *testing.B) {
 	}
 }
 
+// BenchmarkTableII_FeatureExtractionNaive is the seed four-traversal
+// baseline kept for comparison against the fused single-sweep Extract
+// above; `go run ./cmd/bench` snapshots the same pair into
+// BENCH_extract.json.
+func BenchmarkTableII_FeatureExtractionNaive(b *testing.B) {
+	sys := trainedBenchSystem(b)
+	targets, err := gea.SelectBySize(sys.Samples, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := ir.Disassemble(targets.Median.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := features.ExtractNaive(cfg.G())
+		if len(v) != features.NumFeatures {
+			b.Fatal("bad vector")
+		}
+	}
+}
+
+// BenchmarkTableII_FeatureExtractionCached measures the content-keyed
+// cache hit path every repeat extraction (GEA minimize probes, corpus
+// rebuilds) takes.
+func BenchmarkTableII_FeatureExtractionCached(b *testing.B) {
+	sys := trainedBenchSystem(b)
+	targets, err := gea.SelectBySize(sys.Samples, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := ir.Disassemble(targets.Median.Prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := features.NewExtractor(0)
+	e.Extract(cfg.G())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := e.Extract(cfg.G())
+		if len(v) != features.NumFeatures {
+			b.Fatal("bad vector")
+		}
+	}
+}
+
 // BenchmarkFig5_Forward measures one detector forward pass (the unit of
 // every attack's inner loop).
 func BenchmarkFig5_Forward(b *testing.B) {

@@ -1,0 +1,332 @@
+// Command bench runs the extraction and attack micro-benchmarks and
+// writes a machine-readable snapshot (BENCH_extract.json by default) so
+// the repo's performance trajectory has committed data points. Each
+// entry records ns/op, B/op, and allocs/op from testing.Benchmark plus
+// derived metrics (corpus samples/sec, cache hit counts); the speedups
+// map compares the fused single-sweep feature engine against the naive
+// four-traversal composition on the same graphs.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-short] [-o BENCH_extract.json]
+//
+// -short trims graph sizes and skips the trained-detector benches; the
+// Makefile `check` target runs it as a smoke test, while `make
+// bench-snapshot` refreshes the committed full snapshot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"advmal/internal/attacks"
+	"advmal/internal/core"
+	"advmal/internal/dataset"
+	"advmal/internal/features"
+	"advmal/internal/gea"
+	"advmal/internal/graph"
+	"advmal/internal/ir"
+	"advmal/internal/synth"
+)
+
+// Result is one benchmark row of the snapshot.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_extract.json schema.
+type Snapshot struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Short      bool     `json:"short"`
+	Results    []Result `json:"results"`
+	// Speedups maps a comparison label to (baseline ns/op / candidate
+	// ns/op); >1 means the candidate is faster.
+	Speedups map[string]float64 `json:"speedups"`
+}
+
+type harness struct {
+	snap   Snapshot
+	byName map[string]Result
+}
+
+func (h *harness) run(name string, fn func(b *testing.B)) Result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	res := Result{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	h.snap.Results = append(h.snap.Results, res)
+	h.byName[name] = res
+	fmt.Fprintf(os.Stderr, "%-34s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	return res
+}
+
+func (h *harness) runWithMetrics(name string, metrics map[string]float64, fn func(b *testing.B)) {
+	res := h.run(name, fn)
+	res.Metrics = metrics
+	h.snap.Results[len(h.snap.Results)-1] = res
+	h.byName[name] = res
+}
+
+func (h *harness) speedup(label, baseline, candidate string) {
+	base, okB := h.byName[baseline]
+	cand, okC := h.byName[candidate]
+	if !okB || !okC || cand.NsPerOp == 0 {
+		return
+	}
+	h.snap.Speedups[label] = base.NsPerOp / cand.NsPerOp
+}
+
+// benchGraph returns a deterministic CFG-shaped graph with ~constant
+// average out-degree, mimicking real disassembled CFG sparsity.
+func benchGraph(n int) *graph.Graph {
+	return graph.RandomFlow(rand.New(rand.NewSource(int64(n))), n, 6/float64(n))
+}
+
+func main() {
+	out := flag.String("o", "BENCH_extract.json", "output path for the JSON snapshot")
+	short := flag.Bool("short", false, "reduced sizes, no trained-detector benches (smoke mode)")
+	flag.Parse()
+
+	h := &harness{
+		snap: Snapshot{
+			Generated:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Short:      *short,
+			Speedups:   map[string]float64{},
+		},
+		byName: map[string]Result{},
+	}
+
+	sizes := []int{64, 192, 384}
+	if *short {
+		sizes = []int{32, 96}
+	}
+	for _, n := range sizes {
+		g := benchGraph(n)
+		naive := fmt.Sprintf("extract/naive/n=%d", n)
+		fused := fmt.Sprintf("extract/fused/n=%d", n)
+		cached := fmt.Sprintf("extract/cached/n=%d", n)
+		h.run(naive, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				features.ExtractNaive(g)
+			}
+		})
+		h.run(fused, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				features.Extract(g)
+			}
+		})
+		e := features.NewExtractor(0)
+		h.run(cached, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Extract(g)
+			}
+		})
+		h.speedup(fmt.Sprintf("fused-vs-naive/n=%d", n), naive, fused)
+		h.speedup(fmt.Sprintf("cached-vs-naive/n=%d", n), naive, cached)
+	}
+
+	// Corpus throughput: disassemble + extract the synthetic corpus on
+	// the worker pool, cold cache every iteration vs. a warm shared one.
+	nBenign, nMal := 80, 320
+	if *short {
+		nBenign, nMal = 12, 48
+	}
+	samples, err := synth.Generate(synth.Config{Seed: 1, NumBenign: nBenign, NumMal: nMal})
+	if err != nil {
+		fatal(err)
+	}
+	build := func(b *testing.B, e *features.Extractor) {
+		_, _, err := dataset.FromSamplesCtx(context.Background(), samples,
+			dataset.Options{Extractor: e})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	h.runWithMetrics("corpus/build-cold",
+		map[string]float64{"samples": float64(len(samples))},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				build(b, features.NewExtractor(0)) // fresh cache: pure extraction cost
+			}
+		})
+	warm := features.NewExtractor(0)
+	h.runWithMetrics("corpus/build-warm",
+		map[string]float64{"samples": float64(len(samples))},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				build(b, warm)
+			}
+		})
+	h.speedup("corpus-warm-vs-cold", "corpus/build-cold", "corpus/build-warm")
+	addThroughput(h, "corpus/build-cold", float64(len(samples)))
+	addThroughput(h, "corpus/build-warm", float64(len(samples)))
+
+	if !*short {
+		trainedBenches(h)
+	}
+
+	finish(h, *out)
+}
+
+// addThroughput derives items/sec from an already-recorded result.
+func addThroughput(h *harness, name string, items float64) {
+	res, ok := h.byName[name]
+	if !ok || res.NsPerOp == 0 {
+		return
+	}
+	if res.Metrics == nil {
+		res.Metrics = map[string]float64{}
+	}
+	res.Metrics["samples_per_sec"] = items / (res.NsPerOp / 1e9)
+	for i := range h.snap.Results {
+		if h.snap.Results[i].Name == name {
+			h.snap.Results[i] = res
+		}
+	}
+	h.byName[name] = res
+}
+
+// trainedBenches covers the attack-side hot loops against a small
+// trained detector: generic feature-space crafting and the GEA
+// merge→disassemble→extract cycle that dominates Tables IV–VII.
+func trainedBenches(h *harness) {
+	cfg := core.DefaultConfig()
+	cfg.NumBenign = 60
+	cfg.NumMal = 240
+	cfg.Epochs = 30
+	cfg.BatchSize = 50
+	sys := core.New(cfg)
+	if err := sys.BuildCorpus(); err != nil {
+		fatal(err)
+	}
+	if _, err := sys.Fit(); err != nil {
+		fatal(err)
+	}
+
+	x, y := sys.TestX[0], sys.TestY[0]
+	for _, atk := range []struct {
+		name string
+		a    attacks.Attack
+	}{
+		{"attack/fgsm", attacks.NewFGSM(0)},
+		{"attack/pgd", attacks.NewPGD(0, 0)},
+		{"attack/jsma", attacks.NewJSMA(0, 0)},
+	} {
+		clone := sys.Net.CloneShared()
+		h.run(atk.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				atk.a.Craft(clone, x, y)
+			}
+		})
+	}
+
+	// GEA crafting unit: merge + disassemble + (cached) extract +
+	// classify, the exact inner loop of RunTarget and MinimizeTargetSize.
+	targets, err := gea.SelectBySize(sys.Samples, false)
+	if err != nil {
+		fatal(err)
+	}
+	var victim *synth.Sample
+	for _, s := range sys.TestSamples() {
+		if s.Malicious {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		fatal(fmt.Errorf("no malicious test sample"))
+	}
+	before := sys.Extractor.Stats()
+	h.run("gea/merge-extract-classify", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			merged, err := gea.Merge(victim.Prog, targets.Median.Prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg, err := ir.Disassemble(merged)
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw := sys.Extractor.Extract(cfg.G())
+			scaled, err := sys.Scaler.Transform(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Net.Predict(scaled)
+		}
+	})
+	after := sys.Extractor.Stats()
+	addMetric(h, "gea/merge-extract-classify", "cache_hits", float64(after.Hits-before.Hits))
+	addMetric(h, "gea/merge-extract-classify", "cache_misses", float64(after.Misses-before.Misses))
+}
+
+func addMetric(h *harness, name, key string, val float64) {
+	res, ok := h.byName[name]
+	if !ok {
+		return
+	}
+	if res.Metrics == nil {
+		res.Metrics = map[string]float64{}
+	}
+	res.Metrics[key] = val
+	for i := range h.snap.Results {
+		if h.snap.Results[i].Name == name {
+			h.snap.Results[i] = res
+		}
+	}
+	h.byName[name] = res
+}
+
+func finish(h *harness, out string) {
+	labels := make([]string, 0, len(h.snap.Speedups))
+	for k := range h.snap.Speedups {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	for _, k := range labels {
+		fmt.Fprintf(os.Stderr, "speedup %-28s %.2fx\n", k, h.snap.Speedups[k])
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(h.snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d results)\n", out, len(h.snap.Results))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

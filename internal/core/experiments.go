@@ -75,10 +75,11 @@ func (s *System) GEAPipeline(verify bool) (*gea.Pipeline, error) {
 		return nil, ErrNotTrained
 	}
 	return &gea.Pipeline{
-		Net:     s.Net,
-		Scaler:  s.Scaler,
-		Workers: s.Config.Workers,
-		Verify:  verify,
+		Net:       s.Net,
+		Scaler:    s.Scaler,
+		Extractor: s.Extractor,
+		Workers:   s.Config.Workers,
+		Verify:    verify,
 	}, nil
 }
 

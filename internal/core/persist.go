@@ -16,14 +16,19 @@ import (
 type Detector struct {
 	Scaler *features.Scaler
 	Net    *nn.Network
+	// Extractor serves classification through the fused sweep engine and
+	// its content-keyed cache; nil uses features.Shared. Not persisted —
+	// the cache is derived state.
+	Extractor *features.Extractor
 }
 
-// Detector returns the system's deployable detector.
+// Detector returns the system's deployable detector, sharing the
+// system's feature cache.
 func (s *System) Detector() (*Detector, error) {
 	if s.Net == nil {
 		return nil, ErrNotTrained
 	}
-	return &Detector{Scaler: s.Scaler, Net: s.Net}, nil
+	return &Detector{Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor}, nil
 }
 
 // Classify runs the full pipeline on one untrusted program. Faults in
@@ -34,7 +39,7 @@ func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}
-	raw := features.Extract(cfg.G())
+	raw := d.Extractor.Extract(cfg.G())
 	scaled, err := d.Scaler.Transform(raw)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)

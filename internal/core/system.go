@@ -77,6 +77,12 @@ type System struct {
 	Test    *dataset.Dataset
 	Scaler  *features.Scaler
 	Net     *nn.Network
+	// Extractor is the fused-sweep feature engine with its content-keyed
+	// cache, shared by the corpus build, classification, and every GEA
+	// pipeline derived from this system so repeated candidate graphs are
+	// extracted once. New installs one; nil falls back to the
+	// process-wide features.Shared extractor.
+	Extractor *features.Extractor
 	// Skips records the samples isolated during the corpus build; nil
 	// until BuildCorpus runs. Its count is surfaced in the Table I report.
 	Skips *dataset.SkipReport
@@ -106,7 +112,7 @@ func New(cfg Config) *System {
 	if cfg.BatchSize == 0 {
 		cfg.BatchSize = def.BatchSize
 	}
-	return &System{Config: cfg}
+	return &System{Config: cfg, Extractor: features.NewExtractor(0)}
 }
 
 // BuildCorpus is BuildCorpusCtx without cancellation.
@@ -137,8 +143,9 @@ func (s *System) BuildCorpusCtx(ctx context.Context) error {
 func (s *System) BuildFromSamples(ctx context.Context, samples []*synth.Sample) error {
 	s.Samples = samples
 	ds, skips, err := dataset.FromSamplesCtx(ctx, samples, dataset.Options{
-		Workers: s.Config.Workers,
-		SkipBad: !s.Config.StrictCorpus,
+		Workers:   s.Config.Workers,
+		SkipBad:   !s.Config.StrictCorpus,
+		Extractor: s.Extractor,
 	})
 	s.Skips = skips
 	if err != nil {
@@ -233,7 +240,7 @@ func (s *System) Classify(prog *ir.Program) (int, []float64, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}
-	raw := features.Extract(cfg.G())
+	raw := s.Extractor.Extract(cfg.G())
 	v, err := s.Scaler.Transform(raw)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)

@@ -53,6 +53,10 @@ type Options struct {
 	// SkipReport. Without SkipBad any failure aborts the build, but every
 	// per-sample failure is still collected — not just the first.
 	SkipBad bool
+	// Extractor serves feature vectors through the fused sweep engine
+	// and its content-keyed cache; nil uses the process-wide shared
+	// extractor, so repeated builds over overlapping sample sets hit.
+	Extractor *features.Extractor
 	// Hook is the pool fault-injection hook, for tests.
 	Hook pool.Hook
 }
@@ -123,7 +127,7 @@ func FromSamplesCtx(ctx context.Context, samples []*synth.Sample, opts Options) 
 		}
 		records[i] = &Record{
 			Sample: s,
-			Raw:    features.Extract(cfg.G()),
+			Raw:    opts.Extractor.Extract(cfg.G()),
 			Label:  label,
 		}
 		return nil

@@ -1,0 +1,165 @@
+package features
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"advmal/internal/graph"
+)
+
+// sweepers pools fused-sweep scratch across goroutines: Extract and
+// Extractor.Extract borrow a graph.Sweeper for the duration of one sweep,
+// so parallel corpus builds reuse a small set of scratch arenas instead
+// of allocating per call.
+var sweepers = sync.Pool{New: func() any { return graph.NewSweeper() }}
+
+// DefaultCacheCapacity bounds the shared extractor's cache. At 23
+// float64s plus a 32-byte key per entry this is ~1 MiB of vectors.
+const DefaultCacheCapacity = 4096
+
+// GraphKey returns the content hash an Extractor caches under: SHA-256
+// over the node count and the sorted out-adjacency lists. Builder sorts
+// adjacency at Build time, so two graphs with equal node and edge sets
+// (graph.Equal) hash identically regardless of edge insertion order,
+// and any added, removed, or rerouted edge changes the key.
+func GraphKey(g *graph.Graph) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	writeU64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	n := g.N()
+	writeU64(uint64(n))
+	for u := 0; u < n; u++ {
+		out := g.Out(u)
+		writeU64(uint64(len(out)))
+		for _, v := range out {
+			writeU64(uint64(uint32(v)))
+		}
+	}
+	var key [sha256.Size]byte
+	h.Sum(key[:0])
+	return key
+}
+
+// Extractor computes Table II feature vectors through the fused sweep
+// engine with a bounded, concurrency-safe, content-keyed cache in front:
+// vectors are memoized under GraphKey, so hash-equal graphs — the same
+// CFG re-disassembled, a GEA minimize probe repeating a candidate, the
+// same sample crossing corpus build and classification — are extracted
+// once. Raw feature vectors are a pure function of graph content, so
+// sharing one Extractor across detectors, pipelines, and goroutines is
+// always sound.
+//
+// Eviction is least-recently-used. The zero-capacity constructor value
+// selects DefaultCacheCapacity. A nil *Extractor is valid and delegates
+// to the process-wide Shared extractor, which lets struct fields be
+// optional at every call site.
+type Extractor struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // front = most recently used; Value is *cacheEntry
+	byKey  map[[sha256.Size]byte]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key [sha256.Size]byte
+	vec Vector
+}
+
+// Shared is the process-wide extractor used when a call site has no
+// explicit one wired in (nil *Extractor receivers delegate here).
+var Shared = NewExtractor(DefaultCacheCapacity)
+
+// NewExtractor returns an Extractor whose cache holds up to capacity
+// vectors; capacity <= 0 selects DefaultCacheCapacity.
+func NewExtractor(capacity int) *Extractor {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Extractor{
+		cap:   capacity,
+		lru:   list.New(),
+		byKey: make(map[[sha256.Size]byte]*list.Element),
+	}
+}
+
+// Extract returns the 23-feature vector of g, serving hash-equal graphs
+// from the cache. The returned vector is always a private copy; callers
+// may mutate it freely.
+func (e *Extractor) Extract(g *graph.Graph) Vector {
+	if e == nil {
+		return Shared.Extract(g)
+	}
+	key := GraphKey(g)
+	if v, ok := e.lookup(key); ok {
+		return v
+	}
+	// Compute outside the lock; a concurrent miss on the same key does
+	// redundant work but stays correct (extraction is deterministic).
+	v := Extract(g)
+	e.insert(key, v)
+	return v
+}
+
+func (e *Extractor) lookup(key [sha256.Size]byte) (Vector, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.byKey[key]
+	if !ok {
+		e.misses++
+		return nil, false
+	}
+	e.hits++
+	e.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).vec.Clone(), true
+}
+
+func (e *Extractor) insert(key [sha256.Size]byte, v Vector) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.byKey[key]; ok { // lost a compute race; keep the resident entry
+		e.lru.MoveToFront(el)
+		return
+	}
+	e.byKey[key] = e.lru.PushFront(&cacheEntry{key: key, vec: v.Clone()})
+	for e.lru.Len() > e.cap {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// CacheStats is a point-in-time snapshot of an Extractor's cache.
+type CacheStats struct {
+	Hits, Misses uint64
+	Len, Cap     int
+}
+
+// Stats returns the extractor's cache counters.
+func (e *Extractor) Stats() CacheStats {
+	if e == nil {
+		return Shared.Stats()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CacheStats{Hits: e.hits, Misses: e.misses, Len: e.lru.Len(), Cap: e.cap}
+}
+
+// Reset empties the cache and zeroes the counters.
+func (e *Extractor) Reset() {
+	if e == nil {
+		Shared.Reset()
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.lru.Init()
+	e.byKey = make(map[[sha256.Size]byte]*list.Element)
+	e.hits, e.misses = 0, 0
+}

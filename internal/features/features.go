@@ -148,8 +148,22 @@ func Summary5(values []float64) [5]float64 {
 	return s
 }
 
-// Extract computes the 23-feature vector of g.
+// Extract computes the 23-feature vector of g with the fused single-sweep
+// engine (graph.Sweeper): one Brandes pass per source yields betweenness,
+// closeness, and the shortest-path multiset together, with sweep scratch
+// pooled across calls. The result is bit-for-bit identical to
+// ExtractNaive — the property tests in extractor_test.go assert it.
 func Extract(g *graph.Graph) Vector {
+	sw := sweepers.Get().(*graph.Sweeper)
+	defer sweepers.Put(sw)
+	return fromProfile(g, sw.Profile(g))
+}
+
+// ExtractNaive is the seed reference composition: four independent
+// all-sources traversals, one per distribution group. It is kept as the
+// oracle the fused engine is verified against; production paths use
+// Extract or an Extractor.
+func ExtractNaive(g *graph.Graph) Vector {
 	v := make(Vector, 0, NumFeatures)
 	for _, stats := range [][5]float64{
 		Summary5(g.BetweennessCentrality()),
@@ -163,14 +177,33 @@ func Extract(g *graph.Graph) Vector {
 	return v
 }
 
+// fromProfile summarizes a sweep profile into the Table II vector.
+func fromProfile(g *graph.Graph, p *graph.Profile) Vector {
+	v := make(Vector, 0, NumFeatures)
+	for _, stats := range [][5]float64{
+		Summary5(p.Betweenness),
+		Summary5(p.Closeness),
+		Summary5(p.Degree),
+		Summary5(p.PathLengths),
+	} {
+		v = append(v, stats[:]...)
+	}
+	v = append(v, g.Density(), float64(g.M()), float64(g.N()))
+	return v
+}
+
 // Diff counts the features where a and b differ by more than tol — the
 // paper's Avg.FG statistic counts these per crafted adversarial example.
+// Vectors of unequal length never agree on the surplus positions: every
+// feature index present in only one of the two counts as differing, so
+// Diff is symmetric in its arguments.
 func Diff(a, b Vector, tol float64) int {
-	n := 0
-	for i := range a {
-		if i >= len(b) {
-			break
-		}
+	shared := len(a)
+	if len(b) < shared {
+		shared = len(b)
+	}
+	n := len(a) + len(b) - 2*shared
+	for i := 0; i < shared; i++ {
 		if math.Abs(a[i]-b[i]) > tol {
 			n++
 		}

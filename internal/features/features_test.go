@@ -206,9 +206,33 @@ func TestDiff(t *testing.T) {
 	if got := Diff(a, a, 1e-9); got != 0 {
 		t.Errorf("Diff(a,a) = %d, want 0", got)
 	}
-	// Shorter second vector only compares the common prefix.
-	if got := Diff(a, Vector{1}, 1e-3); got != 1 {
-		t.Errorf("Diff with short b = %d, want 1", got)
+}
+
+// TestDiffLengthMismatch is the regression test for the Avg.FG
+// under-count: features present in only one vector must count as
+// differing, in both argument orders. The seed implementation silently
+// ignored b's tail whenever len(b) > len(a) (and a's tail in the
+// mirrored call), so this test fails against it.
+func TestDiffLengthMismatch(t *testing.T) {
+	a := Vector{0, 0.5, 1}
+	short := Vector{0} // agrees on the shared prefix
+	if got := Diff(a, short, 1e-3); got != 2 {
+		t.Errorf("Diff(a, short) = %d, want 2 (surplus features differ)", got)
+	}
+	if got := Diff(short, a, 1e-3); got != 2 {
+		t.Errorf("Diff(short, a) = %d, want 2 (surplus features differ)", got)
+	}
+	// Shared-prefix disagreement and surplus both count.
+	if got := Diff(a, Vector{1}, 1e-3); got != 3 {
+		t.Errorf("Diff(a, {1}) = %d, want 3", got)
+	}
+	if got := Diff(Vector{1}, a, 1e-3); got != 3 {
+		t.Errorf("Diff({1}, a) = %d, want 3", got)
+	}
+	// Symmetry on random-ish unequal lengths.
+	b := Vector{0, 0.5, 1, 2, 3}
+	if x, y := Diff(a, b, 1e-3), Diff(b, a, 1e-3); x != y || x != 2 {
+		t.Errorf("Diff asymmetric: %d vs %d, want 2", x, y)
 	}
 }
 

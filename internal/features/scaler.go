@@ -26,19 +26,25 @@ type Scaler struct {
 }
 
 // Fit learns per-feature minima and maxima from the training vectors.
+// A failed Fit leaves the scaler exactly as it was: every vector's
+// length is validated before any state is assigned, so a ragged input
+// can neither leave the scaler half-fitted nor clobber ranges learned
+// by an earlier successful Fit.
 func (s *Scaler) Fit(vs []Vector) error {
 	if len(vs) == 0 {
 		return ErrNoData
 	}
 	dim := len(vs[0])
+	for _, v := range vs[1:] {
+		if len(v) != dim {
+			return fmt.Errorf("%w: got %d want %d", ErrBadLength, len(v), dim)
+		}
+	}
 	s.Min = make([]float64, dim)
 	s.Max = make([]float64, dim)
 	copy(s.Min, vs[0])
 	copy(s.Max, vs[0])
 	for _, v := range vs[1:] {
-		if len(v) != dim {
-			return fmt.Errorf("%w: got %d want %d", ErrBadLength, len(v), dim)
-		}
 		for i, x := range v {
 			if x < s.Min[i] {
 				s.Min[i] = x
@@ -126,14 +132,18 @@ func (d *Validator) Valid(v Vector) bool {
 	return true
 }
 
-// Clip returns a copy of v with every feature clamped to the box.
+// Clip returns a copy of v with every escaped feature pulled back to the
+// box. Its semantics are aligned with Valid: a feature already inside
+// the tolerated box [Lo-Eps, Hi+Eps] is left untouched — so Valid(v)
+// implies Clip(v) equals v — and a feature outside it is clamped to the
+// nominal bound (Lo or Hi), so Clip's output always satisfies Valid.
 func (d *Validator) Clip(v Vector) Vector {
 	out := v.Clone()
 	for i, x := range out {
 		switch {
-		case x < d.Lo:
+		case x < d.Lo-d.Eps:
 			out[i] = d.Lo
-		case x > d.Hi:
+		case x > d.Hi+d.Eps:
 			out[i] = d.Hi
 		}
 	}

@@ -25,6 +25,40 @@ func TestScalerFitErrors(t *testing.T) {
 	}
 }
 
+// TestScalerFitPartialFailure is the regression test for the half-fitted
+// scaler bug: a ragged Fit must leave the scaler unfitted (seed code
+// populated Min/Max before hitting the bad vector, so Fitted() reported
+// true and Transform silently used half-scanned ranges).
+func TestScalerFitPartialFailure(t *testing.T) {
+	s := &Scaler{}
+	err := s.Fit([]Vector{{0, 0}, {10, 10}, {5}})
+	if !errors.Is(err, ErrBadLength) {
+		t.Fatalf("Fit(ragged) = %v, want ErrBadLength", err)
+	}
+	if s.Fitted() {
+		t.Error("Fitted() = true after failed Fit; half-fitted state leaked")
+	}
+	if _, err := s.Transform(Vector{1, 1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("Transform after failed Fit = %v, want ErrNotFitted", err)
+	}
+}
+
+// TestScalerFitFailurePreservesPriorFit: a failed re-Fit must not clobber
+// ranges learned by an earlier successful Fit.
+func TestScalerFitFailurePreservesPriorFit(t *testing.T) {
+	s := fitScaler(t, []Vector{{0}, {10}})
+	if err := s.Fit([]Vector{{0, 0}, {1}}); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("re-Fit(ragged) = %v, want ErrBadLength", err)
+	}
+	got, err := s.Transform(Vector{5})
+	if err != nil {
+		t.Fatalf("Transform after failed re-Fit: %v", err)
+	}
+	if got[0] != 0.5 {
+		t.Errorf("Transform = %v, want 0.5 (original ranges preserved)", got[0])
+	}
+}
+
 func TestScalerNotFitted(t *testing.T) {
 	s := &Scaler{}
 	if _, err := s.Transform(Vector{1}); !errors.Is(err, ErrNotFitted) {
@@ -147,5 +181,37 @@ func TestValidatorClip(t *testing.T) {
 	}
 	if in[0] != -1 {
 		t.Error("Clip mutated its input")
+	}
+}
+
+// TestValidatorClipValidConsistency is the regression test reconciling
+// Clip with Valid: a vector that passes validation must come back from
+// Clip unchanged (the seed code clamped the tolerated fringe
+// [Lo-Eps, Lo) and (Hi, Hi+Eps] even though Valid accepts it), and a
+// clipped vector must always validate.
+func TestValidatorClipValidConsistency(t *testing.T) {
+	v := NewValidator(0.01)
+	// Exactly on the tolerated boundary: Valid accepts, Clip must not touch.
+	boundary := Vector{v.Lo - v.Eps, v.Lo, 0.5, v.Hi, v.Hi + v.Eps}
+	if !v.Valid(boundary) {
+		t.Fatal("boundary vector should be Valid")
+	}
+	got := v.Clip(boundary)
+	for i := range boundary {
+		if got[i] != boundary[i] {
+			t.Errorf("Clip mutated valid feature %d: %v -> %v", i, boundary[i], got[i])
+		}
+	}
+	// Just outside tolerance: Valid rejects, Clip pulls back to the box.
+	escaped := Vector{v.Lo - v.Eps - 1e-9, v.Hi + v.Eps + 1e-9}
+	if v.Valid(escaped) {
+		t.Fatal("escaped vector should not be Valid")
+	}
+	clipped := v.Clip(escaped)
+	if clipped[0] != v.Lo || clipped[1] != v.Hi {
+		t.Errorf("Clip(escaped) = %v, want [%v %v]", clipped, v.Lo, v.Hi)
+	}
+	if !v.Valid(clipped) {
+		t.Error("Clip output must always be Valid")
 	}
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"advmal/internal/features"
 	"advmal/internal/ir"
 )
 
@@ -148,7 +147,7 @@ func (p *Pipeline) classifyProgram(prog *ir.Program) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	raw := features.Extract(cfg.G())
+	raw := p.Extractor.Extract(cfg.G())
 	scaled, err := p.Scaler.Transform(raw)
 	if err != nil {
 		return 0, err

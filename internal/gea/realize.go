@@ -113,7 +113,7 @@ func (p *Pipeline) RealizeJSMA(orig *ir.Program, label int, verifyInputs [][]int
 	if err != nil {
 		return nil, err
 	}
-	raw := features.Extract(cfg.G())
+	raw := p.Extractor.Extract(cfg.G())
 	scaled, err := p.Scaler.Transform(raw)
 	if err != nil {
 		return nil, err

@@ -21,6 +21,12 @@ import (
 type Pipeline struct {
 	Net    *nn.Network
 	Scaler *features.Scaler
+	// Extractor serves every crafting path's feature extraction through
+	// the fused sweep engine and its content-keyed cache, so repeated
+	// candidate graphs — e.g. MinimizeTargetSize probing the same
+	// truncation, or the same original/target pair across experiments —
+	// are extracted once. nil uses the process-wide features.Shared.
+	Extractor *features.Extractor
 	// Workers is the per-target crafting parallelism; 0 = GOMAXPROCS.
 	Workers int
 	// Verify enables the interpreter-trace equivalence check on every
@@ -172,7 +178,7 @@ func (p *Pipeline) craftOne(net *nn.Network, orig, target *synth.Sample, wantLab
 		o.err = err
 		return o
 	}
-	raw := features.Extract(cfg.G())
+	raw := p.Extractor.Extract(cfg.G())
 	scaled, err := p.Scaler.Transform(raw)
 	if err != nil {
 		o.err = err

@@ -1,0 +1,201 @@
+package graph
+
+// Profile bundles everything the feature layer summarizes about a graph:
+// the three per-node centrality distributions and the multiset of finite
+// pairwise shortest-path lengths. A Profile produced by a Sweeper aliases
+// the Sweeper's scratch memory and is valid only until the next call on
+// that Sweeper; callers that need the data longer must copy it.
+type Profile struct {
+	// Betweenness is normalized shortest-path betweenness centrality,
+	// identical to Graph.BetweennessCentrality.
+	Betweenness []float64
+	// Closeness is incoming-distance Wasserman–Faust closeness,
+	// identical to Graph.ClosenessCentrality.
+	Closeness []float64
+	// Degree is normalized (in+out)/(n-1) degree centrality, identical
+	// to Graph.DegreeCentrality.
+	Degree []float64
+	// PathLengths is the multiset of finite pairwise shortest-path
+	// lengths d(u,v), u != v, identical (as a multiset) to
+	// Graph.ShortestPathLengths.
+	PathLengths []float64
+}
+
+// Sweeper computes a graph's full feature Profile in a single fused
+// all-sources sweep instead of the four independent traversals the naive
+// composition performs. One Brandes pass per source yields
+//
+//   - the per-source BFS distance vector, harvested once per source for
+//     both the shortest-path multiset (d(s,v) for every reachable v != s)
+//     and the incoming-closeness accumulators of every reached node
+//     (d(s,v) is exactly the reverse-BFS distance d_rev(v,s)), and
+//   - the sigma/predecessor structures whose reverse-order dependency
+//     accumulation produces betweenness.
+//
+// Degree centrality falls out of the adjacency lists directly. The sweep
+// therefore touches each edge O(n) times total where the naive
+// composition touches it ~3·O(n) times (forward BFS for paths, reverse
+// BFS for closeness, Brandes for betweenness) and also skips the reverse
+// graph materialization entirely.
+//
+// All per-source scratch (distance, sigma, delta, predecessor lists, BFS
+// order) and the Profile's result slices are owned by the Sweeper and
+// reused across calls, so steady-state profiling performs no per-call
+// allocation beyond path-multiset growth. A Sweeper is NOT safe for
+// concurrent use; pool Sweepers for parallel extraction (the features
+// package does).
+//
+// Numerics: every floating-point operation is performed in the same
+// order and with the same expressions as the naive per-centrality
+// methods, so Profile results are bit-for-bit identical to them — a
+// property the feature layer's regression tests assert.
+type Sweeper struct {
+	dist       []int
+	sigma      []float64
+	delta      []float64
+	preds      [][]int32
+	order      []int32
+	closeSum   []int
+	closeReach []int
+	res        Profile
+}
+
+// NewSweeper returns an empty Sweeper; scratch grows on first use.
+func NewSweeper() *Sweeper { return &Sweeper{} }
+
+// resizeZeroed returns s with length n and every element zeroed, reusing
+// capacity when possible.
+func resizeZeroed(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func (sw *Sweeper) grow(n int) {
+	if cap(sw.dist) < n {
+		sw.dist = make([]int, n)
+		sw.sigma = make([]float64, n)
+		sw.delta = make([]float64, n)
+		sw.preds = make([][]int32, n)
+		sw.closeSum = make([]int, n)
+		sw.closeReach = make([]int, n)
+	}
+	sw.dist = sw.dist[:n]
+	sw.sigma = sw.sigma[:n]
+	sw.delta = sw.delta[:n]
+	sw.preds = sw.preds[:n]
+	sw.closeSum = sw.closeSum[:n]
+	sw.closeReach = sw.closeReach[:n]
+	if cap(sw.order) < n {
+		sw.order = make([]int32, 0, n)
+	}
+	sw.res.Betweenness = resizeZeroed(sw.res.Betweenness, n)
+	sw.res.Closeness = resizeZeroed(sw.res.Closeness, n)
+	sw.res.Degree = resizeZeroed(sw.res.Degree, n)
+	sw.res.PathLengths = sw.res.PathLengths[:0]
+	for i := 0; i < n; i++ {
+		sw.closeSum[i] = 0
+		sw.closeReach[i] = 0
+	}
+}
+
+// Profile computes g's feature profile in one fused sweep. The returned
+// Profile aliases the Sweeper's scratch and is valid until the next
+// Profile call on sw.
+func (sw *Sweeper) Profile(g *Graph) *Profile {
+	n := g.N()
+	sw.grow(n)
+	p := &sw.res
+
+	if n >= 2 {
+		norm := 1 / float64(n-1)
+		for u := 0; u < n; u++ {
+			p.Degree[u] = float64(g.InDegree(u)+g.OutDegree(u)) * norm
+		}
+	}
+
+	// Betweenness is only defined (and only normalizable) for n >= 3;
+	// the distance harvest below still runs for smaller graphs so the
+	// path multiset and closeness match the naive methods exactly.
+	doBC := n >= 3
+	dist, sigma, delta, preds := sw.dist, sw.sigma, sw.delta, sw.preds
+	order := sw.order
+	for s := 0; s < n; s++ {
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		order = append(order, int32(s))
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			for _, v := range g.out[u] {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		// Harvest the distance vector once for two feature groups:
+		// d(s,v) joins the shortest-path multiset and accumulates into
+		// v's incoming-closeness sums. Node-index order mirrors
+		// ShortestPathLengths' enumeration.
+		for v := 0; v < n; v++ {
+			d := dist[v]
+			if v == s || d <= 0 {
+				continue
+			}
+			p.PathLengths = append(p.PathLengths, float64(d))
+			sw.closeSum[v] += d
+			sw.closeReach[v]++
+		}
+		if doBC {
+			// Dependency accumulation in reverse BFS order.
+			for i := len(order) - 1; i >= 0; i-- {
+				w := order[i]
+				for _, u := range preds[w] {
+					delta[u] += sigma[u] / sigma[w] * (1 + delta[w])
+				}
+				if int(w) != s {
+					p.Betweenness[w] += delta[w]
+				}
+			}
+		}
+	}
+	sw.order = order
+	if doBC {
+		norm := 1 / (float64(n-1) * float64(n-2))
+		for i := range p.Betweenness {
+			p.Betweenness[i] *= norm
+		}
+	}
+	if n >= 2 {
+		for v := 0; v < n; v++ {
+			if sw.closeSum[v] > 0 {
+				p.Closeness[v] = float64(sw.closeReach[v]) / float64(sw.closeSum[v]) *
+					float64(sw.closeReach[v]) / float64(n-1)
+			}
+		}
+	}
+	return p
+}
+
+// Profile computes the graph's feature profile with a throwaway Sweeper.
+// Convenience for one-off callers; hot paths should reuse a Sweeper (or
+// go through the features package's pooled extractor).
+func (g *Graph) Profile() *Profile {
+	return NewSweeper().Profile(g)
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bitsEqual reports exact (bit-for-bit) float64 slice equality.
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// profileMatchesNaive asserts the fused sweep reproduces the four naive
+// traversals bit-for-bit, path lengths in identical enumeration order.
+func profileMatchesNaive(t *testing.T, g *Graph, sw *Sweeper) {
+	t.Helper()
+	p := sw.Profile(g)
+	if got, want := p.Betweenness, g.BetweennessCentrality(); !bitsEqual(got, want) {
+		t.Errorf("n=%d m=%d: fused betweenness %v != naive %v", g.N(), g.M(), got, want)
+	}
+	if got, want := p.Closeness, g.ClosenessCentrality(); !bitsEqual(got, want) {
+		t.Errorf("n=%d m=%d: fused closeness %v != naive %v", g.N(), g.M(), got, want)
+	}
+	if got, want := p.Degree, g.DegreeCentrality(); !bitsEqual(got, want) {
+		t.Errorf("n=%d m=%d: fused degree %v != naive %v", g.N(), g.M(), got, want)
+	}
+	if got, want := p.PathLengths, g.ShortestPathLengths(); !bitsEqual(got, want) {
+		t.Errorf("n=%d m=%d: fused path multiset (len %d) != naive (len %d)",
+			g.N(), g.M(), len(got), len(want))
+	}
+}
+
+func TestSweepMatchesNaiveDegenerate(t *testing.T) {
+	sw := NewSweeper()
+	// n = 0, 1, 2 exercise every "too small for this centrality" branch.
+	profileMatchesNaive(t, NewBuilder(0).Build(), sw)
+	profileMatchesNaive(t, NewBuilder(1).Build(), sw)
+	b := NewBuilder(2)
+	if err := b.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	profileMatchesNaive(t, b.Build(), sw)
+	// Self loops (allowed in CFGs) must not perturb any distribution.
+	b = NewBuilder(3).AllowSelfLoops()
+	for _, e := range [][2]int{{0, 0}, {0, 1}, {1, 2}, {2, 0}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	profileMatchesNaive(t, b.Build(), sw)
+}
+
+func TestSweepMatchesNaiveRandom(t *testing.T) {
+	sw := NewSweeper() // one sweeper across all cases: exercises scratch reuse
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var g *Graph
+		if rng.Intn(2) == 0 {
+			g = RandomDirected(rng, 1+rng.Intn(40), rng.Float64()*0.5)
+		} else {
+			g = RandomFlow(rng, 1+rng.Intn(40), rng.Float64()*0.3)
+		}
+		p := sw.Profile(g)
+		return bitsEqual(p.Betweenness, g.BetweennessCentrality()) &&
+			bitsEqual(p.Closeness, g.ClosenessCentrality()) &&
+			bitsEqual(p.Degree, g.DegreeCentrality()) &&
+			bitsEqual(p.PathLengths, g.ShortestPathLengths())
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSweepScratchReuse: profiling a large graph then a small one must
+// not leak stale scratch into the second result, and re-profiling the
+// same graph on a warm sweeper must reproduce the cold result.
+func TestSweepScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	big := RandomFlow(rng, 60, 0.2)
+	small := RandomFlow(rng, 9, 0.3)
+	sw := NewSweeper()
+	sw.Profile(big)
+	profileMatchesNaive(t, small, sw)
+	cold := NewSweeper().Profile(big)
+	warm := sw.Profile(big)
+	if !bitsEqual(cold.Betweenness, warm.Betweenness) ||
+		!bitsEqual(cold.Closeness, warm.Closeness) ||
+		!bitsEqual(cold.Degree, warm.Degree) ||
+		!bitsEqual(cold.PathLengths, warm.PathLengths) {
+		t.Error("warm sweeper diverged from cold sweeper on the same graph")
+	}
+}
+
+func TestGraphProfileConvenience(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := RandomDirected(rng, 15, 0.2)
+	p := g.Profile()
+	if !bitsEqual(p.Betweenness, g.BetweennessCentrality()) {
+		t.Error("Graph.Profile betweenness != naive")
+	}
+}
