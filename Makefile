@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,12 @@ vet:
 # The robustness gate: static analysis plus the full suite under the race
 # detector. The fault-injection harness (internal/pool/faultinject) and the
 # pool invariant tests run here with -race so leaked goroutines, racy
-# result slots, and missed cancellations fail loudly.
+# result slots, and missed cancellations fail loudly. The explicit
+# timeout covers low-core machines, where the adversarial-training test
+# (two 30-epoch runs with per-sample PGD) exceeds Go's 600s default
+# under the race detector.
 race: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 2400s ./...
 
 # Just the worker-pool runtime and fault-injection suites, under -race.
 fault:
@@ -42,4 +45,21 @@ bench-short:
 race-fused:
 	$(GO) test -race -run 'Sweep|Profile|Fused|Extractor' ./internal/graph/ ./internal/features/
 
-check: build race race-fused bench-short
+# Refresh the committed NN-engine perf snapshot (workspace vs oracle on
+# forward/gradient/Jacobian/train-step, attack crafting, the GEA
+# classify unit, train-epoch). See EXPERIMENTS.md §Benchmark snapshots.
+bench-nn:
+	$(GO) run ./cmd/bench -suite nn -o BENCH_nn.json
+
+# Smoke-run the NN suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-nn.
+bench-nn-short:
+	$(GO) run ./cmd/bench -suite nn -short -o /tmp/BENCH_nn.short.json
+
+# The zero-allocation workspace engine under the race detector: the
+# bit-identity properties, the per-worker workspace fan-out, the
+# oracle/workspace attack equivalence, and trainer parity.
+race-nn:
+	$(GO) test -race -timeout 1800s -run 'Workspace|Parity|AttacksOracle|Eligible' ./internal/nn/ ./internal/attacks/
+
+check: build race race-fused race-nn bench-short bench-nn-short

@@ -1,18 +1,27 @@
-// Command bench runs the extraction and attack micro-benchmarks and
-// writes a machine-readable snapshot (BENCH_extract.json by default) so
-// the repo's performance trajectory has committed data points. Each
-// entry records ns/op, B/op, and allocs/op from testing.Benchmark plus
-// derived metrics (corpus samples/sec, cache hit counts); the speedups
-// map compares the fused single-sweep feature engine against the naive
-// four-traversal composition on the same graphs.
+// Command bench runs the repo's micro-benchmark suites and writes a
+// machine-readable snapshot so the performance trajectory has committed
+// data points. Each entry records ns/op, B/op, and allocs/op from
+// testing.Benchmark plus derived metrics; the speedups map compares a
+// baseline against its optimized counterpart (>1 means faster).
+//
+// Two suites exist, selected with -suite:
+//
+//	extract (default) — CFG feature extraction: the fused single-sweep
+//	  engine vs the naive four-traversal composition, the content-keyed
+//	  cache, and corpus build throughput. Snapshot: BENCH_extract.json.
+//	nn — the neural-network substrate: workspace engine vs allocating
+//	  oracle on forward / loss-gradient / Jacobian / train-step, batched
+//	  probs, end-to-end attack crafting, the GEA merge→extract→classify
+//	  unit (the Table IV/V inner loop), and train-epoch wall-clock.
+//	  Snapshot: BENCH_nn.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-short] [-o BENCH_extract.json]
+//	go run ./cmd/bench [-suite extract|nn] [-short] [-o FILE]
 //
-// -short trims graph sizes and skips the trained-detector benches; the
-// Makefile `check` target runs it as a smoke test, while `make
-// bench-snapshot` refreshes the committed full snapshot.
+// -short trims sizes and skips the trained-detector benches; the
+// Makefile `check` target runs both suites as smoke tests, while `make
+// bench-snapshot` / `make bench-nn` refresh the committed snapshots.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"advmal/internal/gea"
 	"advmal/internal/graph"
 	"advmal/internal/ir"
+	"advmal/internal/nn"
 	"advmal/internal/synth"
 )
 
@@ -106,8 +116,9 @@ func benchGraph(n int) *graph.Graph {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_extract.json", "output path for the JSON snapshot")
+	out := flag.String("o", "", "output path for the JSON snapshot (default BENCH_<suite>.json)")
 	short := flag.Bool("short", false, "reduced sizes, no trained-detector benches (smoke mode)")
+	suite := flag.String("suite", "extract", "benchmark suite: extract or nn")
 	flag.Parse()
 
 	h := &harness{
@@ -120,9 +131,27 @@ func main() {
 		},
 		byName: map[string]Result{},
 	}
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", *suite)
+	}
 
+	switch *suite {
+	case "extract":
+		extractSuite(h, *short)
+	case "nn":
+		nnSuite(h, *short)
+	default:
+		fatal(fmt.Errorf("unknown suite %q (want extract or nn)", *suite))
+	}
+
+	finish(h, *out)
+}
+
+// extractSuite benchmarks CFG feature extraction: fused vs naive sweeps,
+// the content-keyed cache, and corpus build throughput.
+func extractSuite(h *harness, short bool) {
 	sizes := []int{64, 192, 384}
-	if *short {
+	if short {
 		sizes = []int{32, 96}
 	}
 	for _, n := range sizes {
@@ -153,7 +182,7 @@ func main() {
 	// Corpus throughput: disassemble + extract the synthetic corpus on
 	// the worker pool, cold cache every iteration vs. a warm shared one.
 	nBenign, nMal := 80, 320
-	if *short {
+	if short {
 		nBenign, nMal = 12, 48
 	}
 	samples, err := synth.Generate(synth.Config{Seed: 1, NumBenign: nBenign, NumMal: nMal})
@@ -186,11 +215,9 @@ func main() {
 	addThroughput(h, "corpus/build-cold", float64(len(samples)))
 	addThroughput(h, "corpus/build-warm", float64(len(samples)))
 
-	if !*short {
+	if !short {
 		trainedBenches(h)
 	}
-
-	finish(h, *out)
 }
 
 // addThroughput derives items/sec from an already-recorded result.
@@ -283,6 +310,206 @@ func trainedBenches(h *harness) {
 	after := sys.Extractor.Stats()
 	addMetric(h, "gea/merge-extract-classify", "cache_hits", float64(after.Hits-before.Hits))
 	addMetric(h, "gea/merge-extract-classify", "cache_misses", float64(after.Misses-before.Misses))
+}
+
+// nnSuite benchmarks the neural-network substrate: the zero-allocation
+// workspace engine against the allocating oracle on every hot query, the
+// batched probs entry point, end-to-end attack crafting on a trained
+// detector, the GEA classify unit, and train-epoch wall-clock.
+func nnSuite(h *harness, short bool) {
+	net := nn.PaperCNN(1)
+	ws := net.CloneShared().WS()
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, net.InputDim())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+
+	h.run("nn/forward/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.Logits(x)
+		}
+	})
+	h.run("nn/forward/ws", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws.Logits(x)
+		}
+	})
+	h.speedup("nn-forward", "nn/forward/naive", "nn/forward/ws")
+
+	h.run("nn/lossgrad/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.LossGrad(x, 1)
+		}
+	})
+	h.run("nn/lossgrad/ws", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws.LossGrad(x, 1)
+		}
+	})
+	h.speedup("nn-lossgrad", "nn/lossgrad/naive", "nn/lossgrad/ws")
+
+	h.run("nn/jacobian/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.Jacobian(x)
+		}
+	})
+	h.run("nn/jacobian/ws", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ws.Jacobian(x)
+		}
+	})
+	h.speedup("nn-jacobian", "nn/jacobian/naive", "nn/jacobian/ws")
+
+	// Full training step: forward in train mode + weighted CE + backward
+	// with parameter-gradient accumulation, on private views.
+	naiveClone := net.CloneShared()
+	h.run("nn/trainstep/naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			logits := naiveClone.Forward(x, true)
+			_, dLogits := nn.SoftmaxCE(logits, 1)
+			naiveClone.Backward(dLogits)
+		}
+	})
+	wsTrain := net.CloneShared().WS()
+	h.run("nn/trainstep/ws", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			wsTrain.TrainStep(x, 1, 1)
+		}
+	})
+	h.speedup("nn-trainstep", "nn/trainstep/naive", "nn/trainstep/ws")
+
+	// Batched probabilities over a small evaluation set.
+	const batchN = 64
+	xs := make([][]float64, batchN)
+	for i := range xs {
+		v := make([]float64, net.InputDim())
+		for j := range v {
+			v[j] = rng.Float64()
+		}
+		xs[i] = v
+	}
+	h.runWithMetrics("nn/probs-batch/naive",
+		map[string]float64{"batch": batchN},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, v := range xs {
+					net.Probs(v)
+				}
+			}
+		})
+	var dst [][]float64
+	h.runWithMetrics("nn/probs-batch/ws",
+		map[string]float64{"batch": batchN},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dst = ws.ProbsBatch(xs, dst)
+			}
+		})
+	h.speedup("nn-probs-batch", "nn/probs-batch/naive", "nn/probs-batch/ws")
+
+	if short {
+		return
+	}
+
+	// Attack crafting and the GEA classify unit against a small trained
+	// detector — the Table III / Table IV–V hot loops end to end.
+	cfg := core.DefaultConfig()
+	cfg.NumBenign = 60
+	cfg.NumMal = 240
+	cfg.Epochs = 30
+	cfg.BatchSize = 50
+	sys := core.New(cfg)
+	if err := sys.BuildCorpus(); err != nil {
+		fatal(err)
+	}
+	if _, err := sys.Fit(); err != nil {
+		fatal(err)
+	}
+
+	tx, ty := sys.TestX[0], sys.TestY[0]
+	for _, atk := range []struct {
+		name string
+		a    attacks.Attack
+	}{
+		{"attack/fgsm", attacks.NewFGSM(0)},
+		{"attack/pgd", attacks.NewPGD(0, 0)},
+		{"attack/jsma", attacks.NewJSMA(0, 0)},
+		{"attack/cw", attacks.NewCW(0, 0, 0)},
+	} {
+		oracle := sys.Net.CloneShared()
+		h.run(atk.name+"/oracle", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				atk.a.Craft(oracle, tx, ty)
+			}
+		})
+		aws := sys.Net.CloneShared().WS()
+		h.run(atk.name+"/ws", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				atk.a.Craft(aws, tx, ty)
+			}
+		})
+		h.speedup(atk.name, atk.name+"/oracle", atk.name+"/ws")
+	}
+
+	// The GEA merge→disassemble→extract→classify unit (Tables IV–V, and
+	// the MinimizeTargetSize probe loop), oracle vs workspace classify.
+	targets, err := gea.SelectBySize(sys.Samples, false)
+	if err != nil {
+		fatal(err)
+	}
+	var victim *synth.Sample
+	for _, s := range sys.TestSamples() {
+		if s.Malicious {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		fatal(fmt.Errorf("no malicious test sample"))
+	}
+	geaUnit := func(b *testing.B, classify func([]float64) int) {
+		merged, err := gea.Merge(victim.Prog, targets.Median.Prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfgG, err := ir.Disassemble(merged)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := sys.Extractor.Extract(cfgG.G())
+		scaled, err := sys.Scaler.Transform(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		classify(scaled)
+	}
+	h.run("gea/merge-extract-classify/oracle", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			geaUnit(b, sys.Net.Predict)
+		}
+	})
+	gws := sys.Net.WS()
+	h.run("gea/merge-extract-classify/ws", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			geaUnit(b, gws.Predict)
+		}
+	})
+	h.speedup("gea-classify", "gea/merge-extract-classify/oracle", "gea/merge-extract-classify/ws")
+
+	// Train-epoch wall-clock: one full epoch of the workspace-backed
+	// trainer on the corpus (includes per-epoch setup).
+	h.runWithMetrics("nn/train-epoch",
+		map[string]float64{"samples": float64(len(sys.TrainX))},
+		func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tr := &nn.Trainer{Epochs: 1, BatchSize: cfg.BatchSize, Seed: 11}
+				if _, err := tr.Fit(nn.PaperCNN(11), sys.TrainX, sys.TrainY); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	addThroughput(h, "nn/train-epoch", float64(len(sys.TrainX)))
 }
 
 func addMetric(h *harness, name, key string, val float64) {

@@ -21,9 +21,16 @@ import (
 // x is the scaled feature vector, label its true class. Implementations
 // return a best-effort adversarial vector inside the [0,1] box; they do
 // not fail.
+//
+// Attacks drive the model through the nn.Engine surface, so they run
+// unchanged on the allocating *nn.Network oracle or on an *nn.Workspace
+// (the zero-allocation engine every hot path uses). Implementations
+// respect the engine contract: slices an engine returns may alias its
+// internal buffers and are consumed — or copied — before the next engine
+// call invalidates them.
 type Attack interface {
 	Name() string
-	Craft(net *nn.Network, x []float64, label int) []float64
+	Craft(eng nn.Engine, x []float64, label int) []float64
 }
 
 // Box is the valid scaled feature range.

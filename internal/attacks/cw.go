@@ -52,7 +52,7 @@ func atanhClamped(x float64) float64 {
 // Craft implements Attack. It tracks the successful iterate with minimal
 // L2 distortion and returns it; if no iterate succeeds it returns the
 // final one.
-func (a *CW) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (a *CW) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	target := opposite(label)
 	dim := len(x)
 	w := make([]float64, dim)
@@ -73,7 +73,7 @@ func (a *CW) Craft(net *nn.Network, x []float64, label int) []float64 {
 		for i := range adv {
 			adv[i] = (math.Tanh(w[i]) + 1) / 2
 		}
-		logits, jac := net.Jacobian(adv)
+		logits, jac := eng.Jacobian(adv)
 		// g = max(z_label - z_target, -kappa).
 		margin := logits[label] - logits[target]
 		dist2 := 0.0

@@ -31,16 +31,16 @@ func (d *DeepFool) Name() string { return "DeepFool" }
 // Craft implements Attack. For the binary detector the boundary is
 // f(x) = z_t - z_y; each step moves -f(x)/||w||^2 * w with
 // w = dz_t/dx - dz_y/dx, scaled by (1+overshoot).
-func (d *DeepFool) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (d *DeepFool) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	target := opposite(label)
 	adv := cloneVec(x)
+	w := make([]float64, len(adv)) // boundary normal, reused across iterations
 	for it := 0; it < d.Iters; it++ {
-		logits, jac := net.Jacobian(adv)
+		logits, jac := eng.Jacobian(adv)
 		if nn.Argmax(logits) == target {
 			break
 		}
 		f := logits[target] - logits[label]
-		w := make([]float64, len(adv))
 		for i := range w {
 			w[i] = jac[target][i] - jac[label][i]
 		}

@@ -42,7 +42,7 @@ func (e *ElasticNet) Name() string { return "ElasticNet" }
 
 // Craft implements Attack. Among successful iterates it keeps the one
 // with the smallest elastic-net distortion.
-func (e *ElasticNet) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (e *ElasticNet) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	target := opposite(label)
 	dim := len(x)
 	y := cloneVec(x) // ISTA iterate before shrinkage
@@ -51,7 +51,7 @@ func (e *ElasticNet) Craft(net *nn.Network, x []float64, label int) []float64 {
 	bestCost := math.Inf(1)
 	found := false
 	for it := 0; it < e.Iters; it++ {
-		logits, jac := net.Jacobian(y)
+		logits, jac := eng.Jacobian(y)
 		margin := logits[label] - logits[target]
 		// Gradient of the smooth part: c * dg/dx + 2*(y - x).
 		for i := 0; i < dim; i++ {
@@ -77,7 +77,7 @@ func (e *ElasticNet) Craft(net *nn.Network, x []float64, label int) []float64 {
 		clipBox(adv)
 		copy(y, adv)
 		// Track the least-distorted success.
-		advLogits := net.Logits(adv)
+		advLogits := eng.Logits(adv)
 		if nn.Argmax(advLogits) == target {
 			var l1, l2 float64
 			for i := range adv {

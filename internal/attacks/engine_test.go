@@ -1,0 +1,86 @@
+package attacks
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"advmal/internal/nn"
+	"advmal/internal/pool"
+)
+
+// TestAttacksOracleWorkspaceIdentical pins every attack's output crafted
+// through the zero-allocation workspace engine to the output crafted
+// through the allocating oracle, bitwise. The attacks are deterministic
+// and the two engines compute identical floating-point operation
+// sequences, so any divergence is an engine bug.
+func TestAttacksOracleWorkspaceIdentical(t *testing.T) {
+	net, x, y := trainedModel(t)
+	ws := net.CloneShared().WS()
+	for _, atk := range All() {
+		atk := atk
+		t.Run(atk.Name(), func(t *testing.T) {
+			for _, i := range []int{0, 1, 7, 20} {
+				advO := atk.Craft(net, x[i], y[i])
+				advW := atk.Craft(ws, x[i], y[i])
+				if len(advO) != len(advW) {
+					t.Fatalf("sample %d: lengths %d vs %d", i, len(advO), len(advW))
+				}
+				for j := range advO {
+					if math.Float64bits(advO[j]) != math.Float64bits(advW[j]) {
+						t.Fatalf("sample %d feature %d: oracle %v workspace %v",
+							i, j, advO[j], advW[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEligibleEngines checks Eligible agrees between the two engines.
+func TestEligibleEngines(t *testing.T) {
+	net, x, y := trainedModel(t)
+	o := Eligible(net, x, y, 0)
+	w := Eligible(net.CloneShared().WS(), x, y, 0)
+	if len(o) != len(w) {
+		t.Fatalf("eligible counts differ: oracle %d workspace %d", len(o), len(w))
+	}
+	for i := range o {
+		if o[i] != w[i] {
+			t.Fatalf("eligible index %d: oracle %d workspace %d", i, o[i], w[i])
+		}
+	}
+}
+
+// TestWorkspacePerWorkerRace fans attack crafting across the shared pool
+// with one workspace per worker — the deployment shape every harness
+// uses — and relies on the -race runs in `make check` to flag any shared
+// mutable state between workspaces (the weights are shared read-only;
+// everything mutable must be per-workspace).
+func TestWorkspacePerWorkerRace(t *testing.T) {
+	net, x, y := trainedModel(t)
+	const workers = 4
+	wss := make([]*nn.Workspace, workers)
+	for w := range wss {
+		wss[w] = net.CloneShared().WS()
+	}
+	atk := NewPGD(0, 10)
+	preds := make([]int, len(x))
+	err := pool.Run(context.Background(), len(x), pool.Options{Workers: workers},
+		func(_ context.Context, w, i int) error {
+			adv := atk.Craft(wss[w], x[i], y[i])
+			preds[i] = wss[w].Predict(adv)
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	// Sanity: results must match a serial run on a single workspace.
+	serial := net.CloneShared().WS()
+	for i := range x {
+		adv := atk.Craft(serial, x[i], y[i])
+		if p := serial.Predict(adv); p != preds[i] {
+			t.Fatalf("sample %d: parallel pred %d, serial pred %d", i, preds[i], p)
+		}
+	}
+}

@@ -54,10 +54,10 @@ func (r Result) String() string {
 // Eligible returns the indices of samples the harness attacks: those the
 // detector classifies correctly, optionally capped to an evenly spaced
 // subset of size maxSamples.
-func Eligible(net *nn.Network, x [][]float64, y []int, maxSamples int) []int {
+func Eligible(eng nn.Engine, x [][]float64, y []int, maxSamples int) []int {
 	var idx []int
 	for i := range x {
-		if net.Predict(x[i]) == y[i] {
+		if eng.Predict(x[i]) == y[i] {
 			idx = append(idx, i)
 		}
 	}
@@ -93,7 +93,7 @@ func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]floa
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	idx := Eligible(net, x, y, opts.MaxSamples)
+	idx := Eligible(net.WS(), x, y, opts.MaxSamples)
 	validator := &features.Validator{Lo: BoxLo, Hi: BoxHi, Eps: 1e-9}
 
 	results := make([]Result, 0, len(atks))
@@ -107,21 +107,23 @@ func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]floa
 			label int
 		}
 		rows := make([]perSample, len(idx))
-		clones := make([]*nn.Network, min(workers, max(len(idx), 1)))
-		for w := range clones {
-			clones[w] = net.CloneShared()
+		// One shared-weight view plus its workspace per worker: crafting
+		// runs on the zero-allocation engine, fully in parallel.
+		wss := make([]*nn.Workspace, min(workers, max(len(idx), 1)))
+		for w := range wss {
+			wss[w] = net.CloneShared().WS()
 		}
 		err := pool.Run(ctx, len(idx), pool.Options{
 			Workers: workers,
 			Hook:    opts.Hook,
 			Name:    func(k int) string { return fmt.Sprintf("%s/sample-%d", atk.Name(), idx[k]) },
 		}, func(_ context.Context, w, k int) error {
-			clone := clones[w]
+			ws := wss[w]
 			i := idx[k]
 			t0 := time.Now()
-			adv := atk.Craft(clone, x[i], y[i])
+			adv := atk.Craft(ws, x[i], y[i])
 			ct := time.Since(t0)
-			pred := clone.Predict(adv)
+			pred := ws.Predict(adv)
 			rows[k] = perSample{
 				ok:    true,
 				mis:   pred != y[i],

@@ -24,8 +24,8 @@ func NewFGSM(eps float64) *FGSM {
 func (f *FGSM) Name() string { return "FGSM" }
 
 // Craft implements Attack: x' = clip(x + eps * sign(dJ/dx)).
-func (f *FGSM) Craft(net *nn.Network, x []float64, label int) []float64 {
-	_, grad := net.LossGrad(x, label)
+func (f *FGSM) Craft(eng nn.Engine, x []float64, label int) []float64 {
+	_, grad := eng.LossGrad(x, label)
 	adv := cloneVec(x)
 	for i := range adv {
 		adv[i] += f.Eps * sign(grad[i])

@@ -44,7 +44,7 @@ func (j *JSMA) Name() string { return "JSMA" }
 // admits decreasing a feature. When no feature satisfies the strict
 // condition the attack falls back to the largest s_t - s_o gap, the
 // standard relaxation for low-dimensional feature spaces.
-func (j *JSMA) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (j *JSMA) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	target := opposite(label)
 	adv := cloneVec(x)
 	budget := int(j.Gamma * float64(len(x)))
@@ -62,7 +62,7 @@ func (j *JSMA) Craft(net *nn.Network, x []float64, label int) []float64 {
 	// The iteration cap prevents oscillating on the same feature when the
 	// touched-feature budget alone would not terminate the loop.
 	for iter := 0; len(touched) < budget && iter < 3*budget; iter++ {
-		logits, jac := net.Jacobian(adv)
+		logits, jac := eng.Jacobian(adv)
 		if nn.Argmax(logits) == target {
 			break
 		}

@@ -29,7 +29,7 @@ func NewMIM(eps float64, iters int) *MIM {
 func (m *MIM) Name() string { return "MIM" }
 
 // Craft implements Attack.
-func (m *MIM) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (m *MIM) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	mu := m.Mu
 	if mu == 0 {
 		mu = 1.0
@@ -38,7 +38,7 @@ func (m *MIM) Craft(net *nn.Network, x []float64, label int) []float64 {
 	adv := cloneVec(x)
 	momentum := make([]float64, len(x))
 	for it := 0; it < m.Iters; it++ {
-		_, grad := net.LossGrad(adv, label)
+		_, grad := eng.LossGrad(adv, label)
 		n1 := l1norm(grad)
 		if n1 == 0 {
 			n1 = 1

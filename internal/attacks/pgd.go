@@ -30,14 +30,14 @@ func NewPGD(eps float64, iters int) *PGD {
 func (p *PGD) Name() string { return "PGD" }
 
 // Craft implements Attack.
-func (p *PGD) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (p *PGD) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	alpha := p.Alpha
 	if alpha <= 0 {
 		alpha = 2.5 * p.Eps / float64(p.Iters)
 	}
 	adv := cloneVec(x)
 	for it := 0; it < p.Iters; it++ {
-		_, grad := net.LossGrad(adv, label)
+		_, grad := eng.LossGrad(adv, label)
 		for i := range adv {
 			adv[i] += alpha * sign(grad[i])
 		}

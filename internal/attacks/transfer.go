@@ -71,8 +71,9 @@ func TrainSubstituteCtx(ctx context.Context, victim *nn.Network, queries [][]flo
 		epochs = 60
 	}
 	labels := make([]int, len(queries))
+	vws := victim.WS()
 	for i, q := range queries {
-		labels[i] = victim.Predict(q)
+		labels[i] = vws.Predict(q)
 	}
 	sub := nn.SmallMLP(cfg.Seed+1, len(queries[0]), hidden, victim.NumClasses())
 	tr := &nn.Trainer{
@@ -103,8 +104,9 @@ func TransferEvaluateCtx(ctx context.Context, victim *nn.Network, atks []Attack,
 	}
 	// Substitute/victim agreement on the test set.
 	agree := 0
+	sws, vws := sub.WS(), victim.WS()
 	for _, x := range testX {
-		if sub.Predict(x) == victim.Predict(x) {
+		if sws.Predict(x) == vws.Predict(x) {
 			agree++
 		}
 	}
@@ -112,7 +114,7 @@ func TransferEvaluateCtx(ctx context.Context, victim *nn.Network, atks []Attack,
 	if len(testX) > 0 {
 		agreement = float64(agree) / float64(len(testX))
 	}
-	idx := Eligible(victim, testX, testY, cfg.MaxSamples)
+	idx := Eligible(vws, testX, testY, cfg.MaxSamples)
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = 1
@@ -128,20 +130,20 @@ func TransferEvaluateCtx(ctx context.Context, victim *nn.Network, atks []Attack,
 			vicMiss bool
 		}
 		outs := make([]outcome, len(idx))
-		subClones := make([]*nn.Network, workers)
-		vicClones := make([]*nn.Network, workers)
-		for w := range subClones {
-			subClones[w] = sub.CloneShared()
-			vicClones[w] = victim.CloneShared()
+		subWS := make([]*nn.Workspace, workers)
+		vicWS := make([]*nn.Workspace, workers)
+		for w := range subWS {
+			subWS[w] = sub.CloneShared().WS()
+			vicWS[w] = victim.CloneShared().WS()
 		}
 		err := pool.Run(ctx, len(idx), pool.Options{Workers: workers},
 			func(_ context.Context, w, k int) error {
 				i := idx[k]
-				adv := atk.Craft(subClones[w], testX[i], testY[i])
+				adv := atk.Craft(subWS[w], testX[i], testY[i])
 				outs[k] = outcome{
 					ok:      true,
-					subMiss: subClones[w].Predict(adv) != testY[i],
-					vicMiss: vicClones[w].Predict(adv) != testY[i],
+					subMiss: subWS[w].Predict(adv) != testY[i],
+					vicMiss: vicWS[w].Predict(adv) != testY[i],
 				}
 				return nil
 			})

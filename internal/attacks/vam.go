@@ -37,12 +37,14 @@ func (v *VAM) Name() string { return "VAM" }
 // respect to the logits at x+r is p(x+r) - p(x), so one backward pass per
 // power iteration refines the direction d; the attack returns
 // x + eps * d / ||d||_2.
-func (v *VAM) Craft(net *nn.Network, x []float64, label int) []float64 {
+func (v *VAM) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	xi := v.Xi
 	if xi <= 0 {
 		xi = 1e-2
 	}
-	p0 := net.Probs(x)
+	// Probs may alias an engine buffer the next Forward clobbers; the
+	// anchor distribution survives the whole loop, so copy it.
+	p0 := cloneVec(eng.Probs(x))
 	dim := len(x)
 	// Deterministic unit init.
 	d := make([]float64, dim)
@@ -50,18 +52,18 @@ func (v *VAM) Craft(net *nn.Network, x []float64, label int) []float64 {
 		d[i] = 1 / math.Sqrt(float64(dim))
 	}
 	probe := make([]float64, dim)
+	p := make([]float64, len(p0))
+	dLogits := make([]float64, len(p0))
 	for it := 0; it < v.Iters; it++ {
 		for i := range probe {
 			probe[i] = x[i] + xi*d[i]
 		}
-		logits := net.Forward(probe, false)
-		p := nn.Softmax(logits)
-		dLogits := make([]float64, len(p))
+		logits := eng.Forward(probe, false)
+		nn.SoftmaxInto(p, logits)
 		for k := range p {
 			dLogits[k] = p[k] - p0[k]
 		}
-		net.ZeroGrad()
-		g := net.Backward(dLogits)
+		g := eng.InputGrad(dLogits)
 		norm := l2norm(g)
 		if norm == 0 {
 			break

@@ -62,7 +62,10 @@ func (s *System) AdversarialTrain(opts AdversarialTrainOptions) (*nn.History, er
 			if idx%every != 0 {
 				return nil
 			}
-			return atk.Craft(scratch, x, label)
+			// Craft on the scratch view's workspace: the attack's
+			// forward/backward loop runs allocation-free without touching
+			// the training clone's gradient accumulation.
+			return atk.Craft(scratch.WS(), x, label)
 		},
 	}
 	hist, err := trainer.Fit(s.Net, s.TrainX, s.TrainY)

@@ -95,9 +95,10 @@ func (s *System) EvaluateFamilies(fc *FamilyClassifier) (*FamilyMetrics, error) 
 		m.Confusion[i] = make([]int, k)
 	}
 	correct := 0
+	ws := fc.Net.WS()
 	for i, r := range s.Test.Records {
 		truth := classOf[r.Sample.Family]
-		pred := fc.Net.Predict(s.TestX[i])
+		pred := ws.Predict(s.TestX[i])
 		m.Confusion[truth][pred]++
 		if pred == truth {
 			correct++

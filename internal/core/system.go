@@ -255,7 +255,10 @@ func (s *System) ClassifyVector(v features.Vector) (int, []float64, error) {
 	if s.Net == nil {
 		return 0, nil, ErrNotTrained
 	}
-	probs, err := s.Net.SafeProbs(v)
+	// The workspace SafeProbs validates the dimension, recovers layer
+	// panics, and returns a fresh slice (never its internal buffers), so
+	// serving stays allocation-light and callers may retain the result.
+	probs, err := s.Net.WS().SafeProbs(v)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}

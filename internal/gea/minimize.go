@@ -152,5 +152,8 @@ func (p *Pipeline) classifyProgram(prog *ir.Program) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return p.Net.Predict(scaled), nil
+	// The minimize search probes this classifier dozens of times per
+	// sample; the lazily attached workspace makes each probe
+	// allocation-free after the first.
+	return p.Net.WS().Predict(scaled), nil
 }

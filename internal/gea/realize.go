@@ -119,9 +119,10 @@ func (p *Pipeline) RealizeJSMA(orig *ir.Program, label int, verifyInputs [][]int
 		return nil, err
 	}
 	jsma := attacks.NewJSMA(0, 0)
-	adv := jsma.Craft(p.Net, scaled, label)
+	ws := p.Net.WS()
+	adv := jsma.Craft(ws, scaled, label)
 	res := &RealizeResult{
-		FeatureSpaceFlipped: p.Net.Predict(adv) != label,
+		FeatureSpaceFlipped: ws.Predict(adv) != label,
 	}
 	advRaw, err := p.Scaler.Inverse(features.Vector(adv))
 	if err != nil {
@@ -136,7 +137,7 @@ func (p *Pipeline) RealizeJSMA(orig *ir.Program, label int, verifyInputs [][]int
 		constrained := attacks.NewJSMA(0, 0)
 		constrained.Allowed = []int{21, 22}
 		constrained.NoDecrease = true
-		adv = constrained.Craft(p.Net, scaled, label)
+		adv = constrained.Craft(ws, scaled, label)
 		if advRaw, err = p.Scaler.Inverse(features.Vector(adv)); err != nil {
 			return nil, err
 		}

@@ -116,16 +116,18 @@ func (p *Pipeline) RunTargetCtx(ctx context.Context, origs []*synth.Sample, targ
 		ct       time.Duration
 	}
 	outs := make([]outcome, len(origs))
-	clones := make([]*nn.Network, workers)
-	for w := range clones {
-		clones[w] = p.Net.CloneShared()
+	// One shared-weight view plus workspace per worker so the classify
+	// probe inside craftOne runs on the zero-allocation engine.
+	wss := make([]*nn.Workspace, workers)
+	for w := range wss {
+		wss[w] = p.Net.CloneShared().WS()
 	}
 	err := pool.Run(ctx, len(origs), pool.Options{
 		Workers: workers,
 		Hook:    p.Hook,
 		Name:    func(i int) string { return origs[i].Name },
 	}, func(_ context.Context, w, i int) error {
-		o := p.craftOne(clones[w], origs[i], target, wantLabel, verifyInputs)
+		o := p.craftOne(wss[w], origs[i], target, wantLabel, verifyInputs)
 		if o.err != nil {
 			return o.err
 		}
@@ -161,7 +163,7 @@ func (p *Pipeline) RunTargetCtx(ctx context.Context, origs []*synth.Sample, targ
 	return row, nil
 }
 
-func (p *Pipeline) craftOne(net *nn.Network, orig, target *synth.Sample, wantLabel int, verifyInputs [][]int64) (o struct {
+func (p *Pipeline) craftOne(eng nn.Engine, orig, target *synth.Sample, wantLabel int, verifyInputs [][]int64) (o struct {
 	mis      bool
 	verified bool
 	ct       time.Duration
@@ -184,7 +186,7 @@ func (p *Pipeline) craftOne(net *nn.Network, orig, target *synth.Sample, wantLab
 		o.err = err
 		return o
 	}
-	pred := net.Predict(scaled)
+	pred := eng.Predict(scaled)
 	o.ct = time.Since(t0)
 	o.mis = pred == wantLabel
 	if verifyInputs != nil {

@@ -35,8 +35,9 @@ func Evaluate(net *Network, x [][]float64, y []int) Metrics {
 	var m Metrics
 	m.N = len(x)
 	correct := 0
+	ws := net.WS()
 	for i := range x {
-		pred := net.Predict(x[i])
+		pred := ws.Predict(x[i])
 		m.Confusion[y[i]][pred]++
 		if pred == y[i] {
 			correct++

@@ -22,6 +22,7 @@ type Network struct {
 	layers   []Layer
 	inShape  []int
 	nClasses int
+	ws       *Workspace // lazily built by WS; never serialized or cloned
 }
 
 // NewNetwork assembles a network. inShape is the shape the flat input
@@ -197,6 +198,15 @@ func (n *Network) Jacobian(x []float64) ([]float64, [][]float64) {
 		jac[k] = n.Backward(d)
 	}
 	return logits, jac
+}
+
+// InputGrad implements Engine: it back-propagates dLogits through the
+// network after a Forward and returns the gradient with respect to the
+// flat input, discarding parameter gradients (they are zeroed first so
+// the accumulators hold nothing stale afterwards).
+func (n *Network) InputGrad(dLogits []float64) []float64 {
+	n.ZeroGrad()
+	return n.Backward(dLogits)
 }
 
 // Softmax returns the numerically stable softmax of logits.

@@ -21,8 +21,9 @@ func ROC(net *Network, x [][]float64, y []int) []ROCPoint {
 	}
 	items := make([]scored, 0, len(x))
 	var pos, neg int
+	ws := net.WS()
 	for i := range x {
-		p := net.Probs(x[i])[ClassMalware]
+		p := ws.Probs(x[i])[ClassMalware]
 		isPos := y[i] == ClassMalware
 		if isPos {
 			pos++

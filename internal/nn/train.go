@@ -198,14 +198,21 @@ func (t *Trainer) FitCtx(ctx context.Context, net *Network, x [][]float64, y []i
 	}
 
 	rng := rand.New(rand.NewSource(t.Seed))
+	// One shared-weight view per worker, each executed through its
+	// zero-allocation workspace: parameter gradients accumulate into the
+	// view's private Param.G exactly as the allocating path did, and the
+	// workspace dropout streams use the same per-worker seed derivation,
+	// so training remains byte-identical for a fixed Seed and Workers.
 	clones := make([]*Network, workers)
+	wss := make([]*Workspace, workers)
 	var scratch []*Network
 	if t.Augment != nil {
 		scratch = make([]*Network, workers)
 	}
 	for w := range clones {
 		clones[w] = net.CloneShared()
-		clones[w].Reseed(t.Seed + int64(w+1)*104729)
+		wss[w] = clones[w].WS()
+		wss[w].Reseed(t.Seed + int64(w+1)*104729)
 		if scratch != nil {
 			// A separate view per worker so crafting cannot clobber the
 			// gradient accumulation in the training clone.
@@ -213,6 +220,8 @@ func (t *Trainer) FitCtx(ctx context.Context, net *Network, x [][]float64, y []i
 		}
 	}
 	params := net.Params()
+	losses := make([]float64, workers)
+	hits := make([]int, workers)
 	idx := make([]int, len(x))
 	for i := range idx {
 		idx[i] = i
@@ -233,11 +242,12 @@ func (t *Trainer) FitCtx(ctx context.Context, net *Network, x [][]float64, y []i
 			for _, c := range clones {
 				c.ZeroGrad()
 			}
-			losses := make([]float64, workers)
-			hits := make([]int, workers)
+			for w := 0; w < workers; w++ {
+				losses[w] = 0
+				hits[w] = 0
+			}
 			err := pool.Run(ctx, len(chunk), pool.Options{Workers: workers, Strided: true},
 				func(_ context.Context, w, k int) error {
-					c := clones[w]
 					i := chunk[k]
 					xi := x[i]
 					if t.Augment != nil {
@@ -245,20 +255,15 @@ func (t *Trainer) FitCtx(ctx context.Context, net *Network, x [][]float64, y []i
 							xi = ax
 						}
 					}
-					logits := c.Forward(xi, true)
-					loss, dLogits := SoftmaxCE(logits, y[i])
+					weight := 1.0
 					if t.ClassWeights != nil {
-						cw := t.ClassWeights[y[i]]
-						loss *= cw
-						for j := range dLogits {
-							dLogits[j] *= cw
-						}
+						weight = t.ClassWeights[y[i]]
 					}
+					loss, hit := wss[w].TrainStep(xi, y[i], weight)
 					losses[w] += loss
-					if Argmax(logits) == y[i] {
+					if hit {
 						hits[w]++
 					}
-					c.Backward(dLogits)
 					return nil
 				})
 			if err != nil {

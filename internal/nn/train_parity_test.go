@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// oracleFit replicates the trainer's pre-workspace algorithm exactly —
+// allocating Forward/SoftmaxCE/Backward on per-worker CloneShared views
+// with the strided worker binding, fixed-order gradient reduction, and
+// the same optimizer stepping — so TestTrainerWorkspaceParity can pin the
+// workspace-backed Trainer to byte-identical weights.
+func oracleFit(net *Network, x [][]float64, y []int, seed int64, epochs, batch, workers int, classWeights []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	clones := make([]*Network, workers)
+	for w := range clones {
+		clones[w] = net.CloneShared()
+		clones[w].Reseed(seed + int64(w+1)*104729)
+	}
+	params := net.Params()
+	opt := &Adam{}
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 1; epoch <= epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += batch {
+			end := start + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			chunk := idx[start:end]
+			for _, c := range clones {
+				c.ZeroGrad()
+			}
+			// The pool binds item k to worker k%workers and each worker
+			// processes its items in ascending k; replicate serially.
+			for w := 0; w < workers; w++ {
+				for k := w; k < len(chunk); k += workers {
+					c := clones[w]
+					i := chunk[k]
+					logits := c.Forward(x[i], true)
+					_, dLogits := SoftmaxCE(logits, y[i])
+					if classWeights != nil {
+						cw := classWeights[y[i]]
+						for j := range dLogits {
+							dLogits[j] *= cw
+						}
+					}
+					c.Backward(dLogits)
+				}
+			}
+			for pi, p := range params {
+				for w := 0; w < workers; w++ {
+					cg := clones[w].Params()[pi].G
+					for j := range p.G {
+						p.G[j] += cg[j]
+					}
+				}
+			}
+			opt.Step(params, float64(len(chunk)))
+			net.ZeroGrad()
+		}
+	}
+}
+
+// TestTrainerWorkspaceParity trains the paper CNN twice — once with the
+// workspace-backed Trainer, once with the replicated allocating loop —
+// and requires every weight to come out bit-identical. This is the
+// guarantee that moving the trainer onto the workspace engine changed
+// nothing about training, down to the dropout streams and the order of
+// every floating-point add.
+func TestTrainerWorkspaceParity(t *testing.T) {
+	const seed, epochs, batch, workers = 42, 2, 16, 3
+	x, y := blobs(3, 40, PaperInputLen)
+	weights := []float64{1.0, 2.5}
+
+	trained := PaperCNN(9)
+	tr := &Trainer{
+		Epochs: epochs, BatchSize: batch, Seed: seed, Workers: workers,
+		ClassWeights: weights,
+	}
+	if _, err := tr.Fit(trained, x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+
+	oracle := PaperCNN(9)
+	oracleFit(oracle, x, y, seed, epochs, batch, workers, weights)
+
+	tp, op := trained.Params(), oracle.Params()
+	for pi := range tp {
+		for j := range tp[pi].W {
+			if math.Float64bits(tp[pi].W[j]) != math.Float64bits(op[pi].W[j]) {
+				t.Fatalf("param %s[%d]: trainer %v oracle %v",
+					tp[pi].Name, j, tp[pi].W[j], op[pi].W[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"advmal/internal/tensor"
+)
+
+// Workspace is the zero-allocation execution engine for one Network view.
+// It preallocates every buffer a forward/backward pass needs — one
+// activation tensor per layer boundary, one gradient tensor per boundary,
+// per-layer mask/argmax/dropout scratch, and the softmax/Jacobian output
+// buffers — sized once from the architecture, so the steady-state hot
+// loops (attack iterations, training steps, classify probes) run with
+// zero heap allocations.
+//
+// A workspace accumulates parameter gradients into the Param.G buffers of
+// the network view it was built from, exactly like the allocating path,
+// so the data-parallel trainer keeps its one-view-per-worker reduction.
+// The input-gradient queries (LossGrad, LogitGrad, Jacobian, InputGrad)
+// skip the parameter-gradient work entirely — attacks never read it — and
+// are therefore roughly twice as fast as a full Backward on dense-heavy
+// architectures.
+//
+// Slices returned by workspace methods alias internal buffers and are
+// valid only until the next call on the same workspace. A workspace is
+// not safe for concurrent use: give each goroutine its own CloneShared
+// view and workspace (weights stay shared, everything mutable is
+// per-workspace).
+type Workspace struct {
+	net     *Network
+	kernels []wsKernel
+	states  []wsState
+	// acts[i] is the input of layer i; acts[len(layers)] the logits.
+	acts []*tensor.T
+	// gbufs[i] is the gradient w.r.t. acts[i].
+	gbufs  []*tensor.T
+	params []*Param
+	dlog   []float64   // dLoss/dLogits scratch
+	probs  []float64   // softmax output
+	jac    [][]float64 // nClasses rows of inputDim
+	inDim  int
+}
+
+// wsState is the per-layer mutable state a workspace owns so running the
+// engine never mutates the Network's layers: ReLU masks, MaxPool argmax
+// indices, Dropout masks and RNG streams.
+type wsState struct {
+	mask    []bool
+	argmax  []int
+	fmask   []float64
+	rng     *rand.Rand
+	dropped bool
+}
+
+// wsKernel is the workspace-execution contract a layer implements: run
+// forward writing into y, and backward writing into dx, using only the
+// state in s (never the layer's own caches). x is the layer input the
+// workspace cached during the forward pass. accum controls whether
+// parameter gradients are accumulated into the layer's Param.G.
+type wsKernel interface {
+	fwdWS(s *wsState, x, y *tensor.T, train bool)
+	bwdWS(s *wsState, x, grad, dx *tensor.T, accum bool)
+}
+
+// NewWorkspace builds a workspace for net, preallocating every buffer
+// from the architecture's layer shapes. Dropout streams start from the
+// same deterministic default as CloneShared views (seed 1); call Reseed
+// before train-mode use when a specific stream is required.
+func NewWorkspace(net *Network) *Workspace {
+	// Infer the activation shape at every layer boundary by running a
+	// zero tensor through a shared-weight clone (so the live network's
+	// layer caches are untouched) — the same trick Summary uses.
+	probe := net.CloneShared()
+	shapes := make([][]int, 0, len(net.layers)+1)
+	t := tensor.New(net.inShape...)
+	shapes = append(shapes, t.Shape)
+	for _, l := range probe.layers {
+		t = l.Forward(t, false)
+		shapes = append(shapes, t.Shape)
+	}
+
+	ws := &Workspace{
+		net:     net,
+		kernels: make([]wsKernel, len(net.layers)),
+		states:  make([]wsState, len(net.layers)),
+		acts:    make([]*tensor.T, len(net.layers)+1),
+		gbufs:   make([]*tensor.T, len(net.layers)+1),
+		params:  net.Params(),
+		dlog:    make([]float64, net.nClasses),
+		probs:   make([]float64, net.nClasses),
+		inDim:   net.InputDim(),
+	}
+	ws.acts[0] = tensor.New(shapes[0]...)
+	ws.gbufs[0] = tensor.New(shapes[0]...)
+	for i, l := range net.layers {
+		if _, isFlatten := l.(*Flatten); isFlatten {
+			// Flatten is a pure reshape: its output tensors alias the
+			// input tensors' data with a flat shape, so forward and
+			// backward through it are no-ops.
+			ws.acts[i+1] = &tensor.T{Shape: append([]int(nil), shapes[i+1]...), Data: ws.acts[i].Data}
+			ws.gbufs[i+1] = &tensor.T{Shape: append([]int(nil), shapes[i+1]...), Data: ws.gbufs[i].Data}
+		} else {
+			ws.acts[i+1] = tensor.New(shapes[i+1]...)
+			ws.gbufs[i+1] = tensor.New(shapes[i+1]...)
+		}
+		outSize := ws.acts[i+1].Size()
+		switch l := l.(type) {
+		case *ReLU:
+			ws.states[i].mask = make([]bool, outSize)
+		case *MaxPool1D:
+			ws.states[i].argmax = make([]int, outSize)
+		case *Dropout:
+			ws.states[i].fmask = make([]float64, outSize)
+			ws.states[i].rng = rand.New(rand.NewSource(1))
+		case *Conv1D, *Flatten, *Dense:
+			// No per-layer scratch beyond the boundary buffers.
+		default:
+			_ = l
+		}
+		if k, ok := l.(wsKernel); ok {
+			ws.kernels[i] = k
+		} else {
+			// A layer type without a workspace kernel (an external Layer
+			// implementation) falls back to its own allocating
+			// Forward/Backward, copied into the workspace buffers. The
+			// zero-alloc guarantee is lost for that layer, correctness is
+			// not.
+			ws.kernels[i] = &oracleKernel{l: l}
+		}
+	}
+	ws.jac = make([][]float64, net.nClasses)
+	jacFlat := make([]float64, net.nClasses*ws.inDim)
+	for k := range ws.jac {
+		ws.jac[k] = jacFlat[k*ws.inDim : (k+1)*ws.inDim]
+	}
+	return ws
+}
+
+// WS returns the workspace lazily attached to this network view, creating
+// it on first use. Like the view itself, the workspace is single-threaded:
+// per-worker CloneShared views each get their own via this method. The
+// allocating Network methods remain available as the reference oracle.
+func (n *Network) WS() *Workspace {
+	if n.ws == nil {
+		n.ws = NewWorkspace(n)
+	}
+	return n.ws
+}
+
+// Net returns the network view this workspace executes.
+func (ws *Workspace) Net() *Network { return ws.net }
+
+// NumClasses implements Engine.
+func (ws *Workspace) NumClasses() int { return ws.net.nClasses }
+
+// InputDim returns the flat input dimension.
+func (ws *Workspace) InputDim() int { return ws.inDim }
+
+// Reseed gives every stochastic layer a deterministic stream derived from
+// seed, using the same per-layer derivation as Network.Reseed, so a
+// workspace and an oracle network reseeded identically produce identical
+// dropout masks.
+func (ws *Workspace) Reseed(seed int64) {
+	for i, l := range ws.net.layers {
+		switch l := l.(type) {
+		case *Dropout:
+			ws.states[i].rng = rand.New(rand.NewSource(seed + int64(i)*7919))
+		case Reseeder:
+			// Fallback-kernel stochastic layers keep their own stream.
+			l.Reseed(seed + int64(i)*7919)
+		}
+	}
+}
+
+// ZeroGrad clears the parameter gradients of the underlying view.
+func (ws *Workspace) ZeroGrad() {
+	for _, p := range ws.params {
+		p.ZeroGrad()
+	}
+}
+
+// Forward runs the network on a flat input vector and returns the logits
+// (aliasing an internal buffer). train enables dropout. The input length
+// must equal InputDim; a mismatch panics like the oracle layers do (use
+// SafeProbs on untrusted inputs).
+func (ws *Workspace) Forward(x []float64, train bool) []float64 {
+	if len(x) != ws.inDim {
+		panic(fmt.Sprintf("nn: workspace: input size %d, want %d", len(x), ws.inDim))
+	}
+	copy(ws.acts[0].Data, x)
+	for i, k := range ws.kernels {
+		k.fwdWS(&ws.states[i], ws.acts[i], ws.acts[i+1], train)
+	}
+	return ws.acts[len(ws.acts)-1].Data
+}
+
+// backprop propagates dLogits back through the buffers filled by the last
+// Forward and returns the input gradient buffer. accum selects whether
+// parameter gradients accumulate into the view's Param.G.
+func (ws *Workspace) backprop(dLogits []float64, accum bool) []float64 {
+	last := len(ws.gbufs) - 1
+	copy(ws.gbufs[last].Data, dLogits)
+	for i := len(ws.kernels) - 1; i >= 0; i-- {
+		ws.kernels[i].bwdWS(&ws.states[i], ws.acts[i], ws.gbufs[i+1], ws.gbufs[i], accum)
+	}
+	return ws.gbufs[0].Data
+}
+
+// Backward propagates dLogits back through the network (after a Forward),
+// accumulates parameter gradients into the view's Param.G exactly like
+// the allocating path, and returns the gradient with respect to the flat
+// input (aliasing an internal buffer).
+func (ws *Workspace) Backward(dLogits []float64) []float64 {
+	return ws.backprop(dLogits, true)
+}
+
+// InputGrad implements Engine: Backward without the parameter-gradient
+// accumulation, the variant every attack loop wants. The returned values
+// are bit-identical to the oracle's ZeroGrad+Backward composition — the
+// input gradient never depends on the parameter-gradient accumulators.
+func (ws *Workspace) InputGrad(dLogits []float64) []float64 {
+	return ws.backprop(dLogits, false)
+}
+
+// Logits implements Engine (eval-mode forward pass).
+func (ws *Workspace) Logits(x []float64) []float64 { return ws.Forward(x, false) }
+
+// Probs implements Engine: softmax class probabilities, eval mode.
+func (ws *Workspace) Probs(x []float64) []float64 {
+	return SoftmaxInto(ws.probs, ws.Forward(x, false))
+}
+
+// Predict implements Engine: the argmax class, eval mode.
+func (ws *Workspace) Predict(x []float64) int { return Argmax(ws.Forward(x, false)) }
+
+// LossGrad implements Engine: the cross-entropy loss at x for label and
+// the gradient of that loss with respect to the input (eval mode).
+func (ws *Workspace) LossGrad(x []float64, label int) (float64, []float64) {
+	logits := ws.Forward(x, false)
+	loss := softmaxCEInto(ws.dlog, logits, label)
+	return loss, ws.backprop(ws.dlog, false)
+}
+
+// LogitGrad implements Engine: logits plus the input gradient of logit k.
+func (ws *Workspace) LogitGrad(x []float64, k int) ([]float64, []float64) {
+	logits := ws.Forward(x, false)
+	for i := range ws.dlog {
+		ws.dlog[i] = 0
+	}
+	ws.dlog[k] = 1
+	return logits, ws.backprop(ws.dlog, false)
+}
+
+// Jacobian implements Engine: one forward pass plus nClasses backward
+// passes, filling the workspace's preallocated (nClasses x inputDim) row
+// set.
+func (ws *Workspace) Jacobian(x []float64) ([]float64, [][]float64) {
+	logits := ws.Forward(x, false)
+	for k := range ws.jac {
+		for i := range ws.dlog {
+			ws.dlog[i] = 0
+		}
+		ws.dlog[k] = 1
+		copy(ws.jac[k], ws.backprop(ws.dlog, false))
+	}
+	return logits, ws.jac
+}
+
+// TrainStep is the trainer's whole per-sample inner loop in one
+// zero-allocation call: forward in train mode, weighted softmax
+// cross-entropy, and a full backward accumulating parameter gradients
+// into the view's Param.G. It returns the (weighted) loss and whether the
+// prediction was correct. weight scales both the loss and the logit
+// gradient (class weighting); 1 applies no scaling.
+func (ws *Workspace) TrainStep(x []float64, label int, weight float64) (float64, bool) {
+	logits := ws.Forward(x, true)
+	loss := softmaxCEInto(ws.dlog, logits, label)
+	if weight != 1 {
+		loss *= weight
+		for j := range ws.dlog {
+			ws.dlog[j] *= weight
+		}
+	}
+	correct := Argmax(logits) == label
+	ws.backprop(ws.dlog, true)
+	return loss, correct
+}
+
+// SafeProbs is the serving-path variant of Probs: the input dimension is
+// validated up front, any layer panic on a poisoned vector is recovered
+// as an error wrapping ErrBadInput, and the probabilities are returned in
+// a fresh slice the caller may retain.
+func (ws *Workspace) SafeProbs(x []float64) (out []float64, err error) {
+	if len(x) != ws.inDim {
+		return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), ws.inDim)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: layer panic: %v", ErrBadInput, r)
+		}
+	}()
+	return append([]float64(nil), ws.Probs(x)...), nil
+}
+
+// ProbsBatch runs eval-mode softmax probabilities for every row of xs,
+// amortizing dispatch over the batch. Rows are written into dst, which is
+// grown as needed and returned; pass a previously returned dst to make
+// steady-state batches allocation-free.
+func (ws *Workspace) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
+	dst = growRows(dst, len(xs), ws.net.nClasses)
+	for i, x := range xs {
+		copy(dst[i], ws.Probs(x))
+	}
+	return dst
+}
+
+// PredictBatch runs eval-mode argmax predictions for every row of xs into
+// dst (grown as needed and returned).
+func (ws *Workspace) PredictBatch(xs [][]float64, dst []int) []int {
+	if cap(dst) < len(xs) {
+		dst = make([]int, len(xs))
+	}
+	dst = dst[:len(xs)]
+	for i, x := range xs {
+		dst[i] = ws.Predict(x)
+	}
+	return dst
+}
+
+// GradBatch computes the cross-entropy loss and input gradient for every
+// (x, label) pair, amortizing dispatch: the batched counterpart of
+// LossGrad. Losses and gradient rows are written into the provided
+// slices, grown as needed and returned; reuse them across calls to stay
+// allocation-free.
+func (ws *Workspace) GradBatch(xs [][]float64, labels []int, losses []float64, grads [][]float64) ([]float64, [][]float64) {
+	if cap(losses) < len(xs) {
+		losses = make([]float64, len(xs))
+	}
+	losses = losses[:len(xs)]
+	grads = growRows(grads, len(xs), ws.inDim)
+	for i, x := range xs {
+		loss, g := ws.LossGrad(x, labels[i])
+		losses[i] = loss
+		copy(grads[i], g)
+	}
+	return losses, grads
+}
+
+// growRows resizes dst to n rows of width cols, reusing existing rows.
+func growRows(dst [][]float64, n, cols int) [][]float64 {
+	if cap(dst) < n {
+		grown := make([][]float64, n)
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:n]
+	for i := range dst {
+		if len(dst[i]) != cols {
+			dst[i] = make([]float64, cols)
+		}
+	}
+	return dst
+}
+
+// SoftmaxInto writes the numerically stable softmax of logits into dst
+// (which must have the same length) and returns dst. It performs exactly
+// the same operations as Softmax, so results are bit-identical.
+func SoftmaxInto(dst, logits []float64) []float64 {
+	maxL := math.Inf(-1)
+	for _, l := range logits {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	for i, l := range logits {
+		e := math.Exp(l - maxL)
+		dst[i] = e
+		sum += e
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
+}
+
+// softmaxCEInto is the allocation-free SoftmaxCE: it writes the loss
+// gradient (p - onehot) into d and returns the cross-entropy loss,
+// bit-identical to the allocating version.
+func softmaxCEInto(d, logits []float64, label int) float64 {
+	SoftmaxInto(d, logits)
+	q := d[label]
+	d[label] -= 1
+	if q < 1e-300 {
+		q = 1e-300
+	}
+	return -math.Log(q)
+}
+
+// oracleKernel adapts a Layer without a workspace kernel (an external
+// implementation) by delegating to its allocating Forward/Backward and
+// copying the result into the workspace buffers. Correct, not
+// allocation-free; every layer this package defines has a real kernel.
+type oracleKernel struct{ l Layer }
+
+func (o *oracleKernel) fwdWS(_ *wsState, x, y *tensor.T, train bool) {
+	out := o.l.Forward(x, train)
+	copy(y.Data, out.Data)
+}
+
+func (o *oracleKernel) bwdWS(_ *wsState, _, grad, dx *tensor.T, _ bool) {
+	out := o.l.Backward(grad)
+	copy(dx.Data, out.Data)
+}
