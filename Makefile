@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short
 
 build:
 	$(GO) build ./...
@@ -62,4 +62,31 @@ bench-nn-short:
 race-nn:
 	$(GO) test -race -timeout 1800s -run 'Workspace|Parity|AttacksOracle|Eligible' ./internal/nn/ ./internal/attacks/
 
-check: build race race-fused race-nn bench-short bench-nn-short
+# The serving stack under the race detector: the micro-batching
+# scheduler and HTTP front end (whole package), the detector
+# load/classify hardening, and the extractor cache under
+# serving-concurrency churn. The timeout covers the shared trained
+# system the core tests build once under -race.
+race-serve:
+	$(GO) test -race -timeout 1800s ./internal/serve/
+	$(GO) test -race -timeout 1800s -run 'Detector|Churn' ./internal/core/ ./internal/features/
+
+# End-to-end smoke of the online detection service: build
+# serve/loadgen/classify, train a tiny detector, serve it on an
+# ephemeral port, assert every loadgen request answers 200, then SIGTERM
+# mid-load and assert a clean zero-drop drain (DESIGN.md §9).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Refresh the committed serving perf snapshot: micro-batching vs the
+# unbatched per-request baseline at saturation, plus the closed-loop
+# latency/SLO row. See EXPERIMENTS.md §Benchmark snapshots.
+bench-serve:
+	$(GO) run ./cmd/bench -suite serve -o BENCH_serve.json
+
+# Smoke-run the serve suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-serve.
+bench-serve-short:
+	$(GO) run ./cmd/bench -suite serve -short -o /tmp/BENCH_serve.short.json
+
+check: build race race-fused race-nn race-serve serve-smoke bench-short bench-nn-short bench-serve-short

@@ -14,10 +14,15 @@
 //	  probs, end-to-end attack crafting, the GEA merge→extract→classify
 //	  unit (the Table IV/V inner loop), and train-epoch wall-clock.
 //	  Snapshot: BENCH_nn.json.
+//	serve — the online-service scheduler at saturation: micro-batching
+//	  configurations vs the unbatched per-request baseline (the seed's
+//	  mutex-serialized allocating oracle), plus a closed-loop latency
+//	  pass against the window + inference-budget SLO. Snapshot:
+//	  BENCH_serve.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite extract|nn] [-short] [-o FILE]
+//	go run ./cmd/bench [-suite extract|nn|serve] [-short] [-o FILE]
 //
 // -short trims sizes and skips the trained-detector benches; the
 // Makefile `check` target runs both suites as smoke tests, while `make
@@ -140,8 +145,10 @@ func main() {
 		extractSuite(h, *short)
 	case "nn":
 		nnSuite(h, *short)
+	case "serve":
+		serveSuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract or nn)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, or serve)", *suite))
 	}
 
 	finish(h, *out)

@@ -1,0 +1,250 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/features"
+	"advmal/internal/nn"
+	"advmal/internal/serve"
+	"advmal/internal/synth"
+)
+
+// serveSuite benchmarks the online detection service's inference
+// scheduler at saturation: the micro-batching configurations against the
+// unbatched per-request baseline — the seed's serving path, where every
+// request runs alone through the shared allocating oracle (which must be
+// mutex-serialized: the oracle Network keeps per-layer activation state,
+// so concurrent use is a data race). A second per-request row swaps in
+// pooled zero-alloc workspaces to separate the engine win from the
+// batching win. A closed-loop latency pass then checks the p99 SLO:
+// client latency stays under the batch window plus the inference budget.
+func serveSuite(h *harness, short bool) {
+	det := serveDetector()
+	vecs := serveVectors(det, 64)
+
+	// Saturation means enough closed-loop clients to fill the largest
+	// batch cap; with fewer clients than the cap every batch would wait
+	// out the full window on an empty queue.
+	parallel := 64
+	requests := 2000
+	if short {
+		parallel = 16
+		requests = 400
+	}
+
+	// The seed's per-request path: one shared oracle, one request at a
+	// time. BatchSize 1 + zero window = no coalescing, pure scheduling.
+	oracle := &oracleEngine{net: det.Net}
+	perReqOracle := serveThroughputRow(h, "serve/per-request/oracle", parallel, vecs,
+		serve.BatcherConfig{
+			BatchSize: 1, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine { return oracle },
+		})
+
+	// Per-request with pooled workspaces: engine win without batching.
+	serveThroughputRow(h, "serve/per-request/ws", parallel, vecs,
+		serve.BatcherConfig{
+			BatchSize: 1, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine { return det.AcquireWS() },
+		})
+
+	// Micro-batching configurations.
+	configs := []struct {
+		name   string
+		batch  int
+		window time.Duration
+	}{
+		{"serve/batch/b=16,w=500us", 16, 500 * time.Microsecond},
+		{"serve/batch/b=64,w=2ms", 64, 2 * time.Millisecond},
+	}
+	for _, c := range configs {
+		serveThroughputRow(h, c.name, parallel, vecs, serve.BatcherConfig{
+			BatchSize: c.batch, Window: c.window, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine { return det.AcquireWS() },
+		})
+	}
+
+	h.speedup("serve-ws-vs-oracle/per-request", "serve/per-request/oracle", "serve/per-request/ws")
+	h.speedup("serve-batch16-vs-per-request", "serve/per-request/oracle", "serve/batch/b=16,w=500us")
+	h.speedup("serve-batch64-vs-per-request", "serve/per-request/oracle", "serve/batch/b=64,w=2ms")
+
+	// Latency pass on the headline configuration: closed-loop clients,
+	// client-observed latency vs. the window + inference budget SLO.
+	serveLatencyRow(h, "serve/latency/b=64,w=2ms", parallel, requests, vecs,
+		serve.BatcherConfig{
+			BatchSize: 64, Window: 2 * time.Millisecond, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine { return det.AcquireWS() },
+		}, 2*time.Millisecond)
+
+	_ = perReqOracle
+}
+
+// serveDetector builds the serving detector: an untrained PaperCNN with
+// an identity scaler — inference cost is weight-independent, so verdict
+// speed matches a trained model without paying for training.
+func serveDetector() *core.Detector {
+	min := make([]float64, features.NumFeatures)
+	max := make([]float64, features.NumFeatures)
+	for i := range max {
+		max[i] = 1
+	}
+	return &core.Detector{
+		Scaler:    &features.Scaler{Min: min, Max: max},
+		Net:       nn.PaperCNN(0),
+		Extractor: features.NewExtractor(0),
+	}
+}
+
+// serveVectors renders n synthetic programs through the real serving
+// front half (disassemble → extract → scale).
+func serveVectors(det *core.Detector, n int) [][]float64 {
+	samples, err := synth.Generate(synth.Config{Seed: 1, NumBenign: (n + 1) / 2, NumMal: n / 2})
+	if err != nil {
+		fatal(err)
+	}
+	vecs := make([][]float64, len(samples))
+	for i, s := range samples {
+		v, _, _, err := det.Vectorize(s.Prog)
+		if err != nil {
+			fatal(err)
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// oracleEngine is the seed's inference path as a BatchEngine: the
+// allocating oracle Network behind a mutex (its layers keep per-call
+// activation state, so serialization is the minimal correct deployment).
+type oracleEngine struct {
+	mu  sync.Mutex
+	net *nn.Network
+}
+
+func (e *oracleEngine) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = e.net.Probs(x)
+	}
+	return out
+}
+
+func (e *oracleEngine) SafeProbs(x []float64) ([]float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.net.SafeProbs(x)
+}
+
+// serveThroughputRow measures one scheduler configuration at saturation:
+// `parallel` closed-loop clients submitting round-robin vectors. ns/op
+// is wall-clock per request; the row records achieved req/s.
+func serveThroughputRow(h *harness, name string, parallel int, vecs [][]float64, cfg serve.BatcherConfig) Result {
+	b := serve.NewBatcher(cfg)
+	defer b.Close()
+	var rr atomic.Int64
+	res := h.run(name, func(tb *testing.B) {
+		tb.SetParallelism(parallel)
+		tb.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				x := vecs[int(rr.Add(1))%len(vecs)]
+				if _, err := b.Submit(ctx, x); err != nil {
+					tb.Error(err)
+					return
+				}
+			}
+		})
+	})
+	addMetric(h, name, "clients", float64(parallel))
+	if res.NsPerOp > 0 {
+		addMetric(h, name, "req_per_sec", 1e9/res.NsPerOp)
+	}
+	return res
+}
+
+// serveLatencyRow runs a fixed request count through one configuration
+// and records client-observed p50/p95/p99 against the SLO budget: the
+// batch window plus the p99 batch-execution time.
+func serveLatencyRow(h *harness, name string, parallel, requests int, vecs [][]float64, cfg serve.BatcherConfig, window time.Duration) {
+	m := serve.NewMetrics()
+	cfg.Metrics = m
+	b := serve.NewBatcher(cfg)
+	lats := make([]time.Duration, requests)
+	var idx atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < parallel; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for {
+				i := int(idx.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				t0 := time.Now()
+				if _, err := b.Submit(ctx, vecs[i%len(vecs)]); err != nil {
+					fatal(fmt.Errorf("%s: %w", name, err))
+				}
+				lats[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.Close()
+
+	sum := serve.Summarize(lats)
+	inferP99 := time.Duration(m.InferLat.Quantile(0.99) * float64(time.Second))
+	budget := window + inferP99
+	res := Result{
+		Name:       name,
+		Iterations: requests,
+		NsPerOp:    float64(elapsed.Nanoseconds()) / float64(requests),
+		Metrics: map[string]float64{
+			"clients":           float64(parallel),
+			"req_per_sec":       float64(requests) / elapsed.Seconds(),
+			"p50_ms":            float64(sum.P50) / 1e6,
+			"p95_ms":            float64(sum.P95) / 1e6,
+			"p99_ms":            float64(sum.P99) / 1e6,
+			"window_ms":         float64(window) / 1e6,
+			"infer_p99_ms":      float64(inferP99) / 1e6,
+			"budget_ms":         float64(budget) / 1e6,
+			"p99_within_budget": boolMetric(sum.P99 <= budget),
+			"mean_batch_size":   meanBatch(m),
+		},
+	}
+	h.snap.Results = append(h.snap.Results, res)
+	h.byName[name] = res
+	fmt.Fprintf(os.Stderr, "%-34s p50=%v p95=%v p99=%v budget=%v batch=%.1f\n",
+		name, sum.P50.Round(time.Microsecond), sum.P95.Round(time.Microsecond),
+		sum.P99.Round(time.Microsecond), budget.Round(time.Microsecond), meanBatch(m))
+	if sum.P99 > budget {
+		fatal(fmt.Errorf("%s: p99 %v exceeds budget %v (window %v + infer p99 %v)",
+			name, sum.P99, budget, window, inferP99))
+	}
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func meanBatch(m *serve.Metrics) float64 {
+	if m.BatchSize.Count() == 0 {
+		return 0
+	}
+	return m.BatchSize.Sum() / float64(m.BatchSize.Count())
+}

@@ -6,10 +6,16 @@
 //
 //	classify -train -model detector.gob              # train & save a detector
 //	classify -model detector.gob prog1.asm prog2.asm # classify programs
+//	classify -json -model detector.gob prog1.asm     # one verdict object per line
+//
+// -json emits each verdict in the serving schema (internal/serve.Verdict,
+// the same objects cmd/serve returns), so offline and online pipelines
+// are diffable.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +27,7 @@ import (
 	"advmal/internal/core"
 	"advmal/internal/ir"
 	"advmal/internal/nn"
+	"advmal/internal/serve"
 )
 
 func main() {
@@ -44,6 +51,7 @@ func run(ctx context.Context) error {
 		epochs  = flag.Int("epochs", 200, "training epochs (with -train)")
 		benign  = flag.Int("benign", 276, "benign corpus size (with -train)")
 		malware = flag.Int("malware", 2281, "malicious corpus size (with -train)")
+		asJSON  = flag.Bool("json", false, "emit one serve.Verdict JSON object per line")
 	)
 	flag.Parse()
 
@@ -93,6 +101,9 @@ func run(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	if *asJSON {
+		return classifyFilesJSON(ctx, det, flag.Args(), os.Stdout)
+	}
 	return classifyFiles(ctx, det, flag.Args(), os.Stdout)
 }
 
@@ -105,28 +116,59 @@ func classifyFiles(ctx context.Context, det *core.Detector, paths []string, w io
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		text, err := os.ReadFile(path)
+		v, err := classifyOne(det, path)
 		if err != nil {
 			return err
 		}
-		prog, err := ir.Parse(string(text))
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		cfg, err := ir.Disassemble(prog)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
-		pred, probs, err := det.Classify(prog)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
-		}
 		verdict := "benign"
-		if pred == nn.ClassMalware {
+		if v.Class == nn.ClassMalware {
 			verdict = "MALWARE"
 		}
 		fmt.Fprintf(w, "%-30s %s (p=%.3f) — %d blocks, %d edges\n",
-			path, verdict, probs[pred], cfg.G().N(), cfg.G().M())
+			path, verdict, v.Confidence, v.Blocks, v.Edges)
 	}
 	return nil
+}
+
+// classifyFilesJSON emits one serve.Verdict object per line — the exact
+// response schema of cmd/serve's classify endpoint.
+func classifyFilesJSON(ctx context.Context, det *core.Detector, paths []string, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, path := range paths {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v, err := classifyOne(det, path)
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classifyOne runs the shared parse → vectorize → classify pipeline on
+// one file and assembles the serving-schema verdict.
+func classifyOne(det *core.Detector, path string) (serve.Verdict, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return serve.Verdict{}, err
+	}
+	prog, err := ir.Parse(string(text))
+	if err != nil {
+		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
+	}
+	vec, blocks, edges, err := det.Vectorize(prog)
+	if err != nil {
+		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
+	}
+	w := det.AcquireWS()
+	probs, err := w.SafeProbs(vec)
+	det.ReleaseWS(w)
+	if err != nil {
+		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return serve.MakeVerdict(path, probs, blocks, edges), nil
 }

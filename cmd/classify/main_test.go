@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -12,6 +13,7 @@ import (
 	"advmal/internal/features"
 	"advmal/internal/ir"
 	"advmal/internal/nn"
+	"advmal/internal/serve"
 )
 
 // testDetector builds a detector with an untrained network and an
@@ -82,6 +84,44 @@ func TestClassifyFilesValidInput(t *testing.T) {
 	out := sb.String()
 	if !strings.Contains(out, "ok.asm") || !(strings.Contains(out, "benign") || strings.Contains(out, "MALWARE")) {
 		t.Fatalf("unexpected verdict line: %q", out)
+	}
+}
+
+// TestClassifyFilesJSON checks -json output: one serve.Verdict object
+// per line, field-for-field consistent with the plain classify path.
+func TestClassifyFilesJSON(t *testing.T) {
+	det := testDetector()
+	path := writeFile(t, "ok.asm", "movi r0, 1\nmovi r1, 2\nadd r0, r1\nret\n")
+	var sb strings.Builder
+	if err := classifyFilesJSON(context.Background(), det, []string{path, path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 verdict lines, got %d: %q", len(lines), sb.String())
+	}
+	prog, err := ir.Parse("movi r0, 1\nmovi r1, 2\nadd r0, r1\nret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, probs, err := det.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range lines {
+		var v serve.Verdict
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
+			t.Fatalf("line is not a verdict object: %q: %v", line, err)
+		}
+		if v.Name != path || v.Class != pred || v.Label != serve.Label(pred) {
+			t.Fatalf("verdict %+v diverges from Classify (%d)", v, pred)
+		}
+		if v.Confidence != probs[pred] || len(v.Probs) != 2 {
+			t.Fatalf("probabilities not faithful: %+v vs %v", v, probs)
+		}
+		if v.Blocks <= 0 {
+			t.Fatalf("missing CFG summary: %+v", v)
+		}
 	}
 }
 

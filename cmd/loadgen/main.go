@@ -1,0 +1,196 @@
+// Command loadgen is the closed-loop load generator for cmd/serve: it
+// replays synthetic corpus programs against the classify endpoint at a
+// target RPS (or flat out) and reports achieved throughput plus
+// p50/p95/p99 latency.
+//
+// Usage:
+//
+//	loadgen -addr http://127.0.0.1:8377 -conc 8 -duration 10s -rps 500
+//	loadgen -addr http://127.0.0.1:8377 -requests 100 -json
+//
+// Exit status is non-zero when any request failed (transport error or
+// non-200), unless -tolerate-errors is set — overload runs expect 429s.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advmal/internal/serve"
+	"advmal/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable run summary (-json).
+type report struct {
+	Requests    int                  `json:"requests"`
+	OK          int                  `json:"ok"`
+	Errors      int                  `json:"errors"`
+	ByStatus    map[string]int       `json:"by_status"`
+	DurationSec float64              `json:"duration_sec"`
+	AchievedRPS float64              `json:"achieved_rps"`
+	Latency     serve.LatencySummary `json:"latency"`
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8377", "server base URL")
+		rps      = flag.Float64("rps", 0, "target request rate (0 = closed loop, as fast as the server answers)")
+		conc     = flag.Int("conc", 8, "concurrent client connections")
+		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
+		requests = flag.Int("requests", 0, "total request budget (0 = run for -duration)")
+		programs = flag.Int("programs", 32, "distinct synthetic programs to replay")
+		seed     = flag.Int64("seed", 1, "program-generation seed")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
+		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
+		tolerate = flag.Bool("tolerate-errors", false, "exit 0 even when requests failed (overload runs)")
+	)
+	flag.Parse()
+
+	bodies, err := corpus(*programs, *seed)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(*addr, "/") + "/v1/classify"
+	client := &http.Client{Timeout: *timeout}
+
+	// Pacing: a paced run feeds tokens at the target rate into a small
+	// bucket (burst = conc); a closed-loop run hands out tokens freely.
+	var tokens chan struct{}
+	stopPacer := make(chan struct{})
+	if *rps > 0 {
+		tokens = make(chan struct{}, *conc)
+		interval := time.Duration(float64(time.Second) / *rps)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					select {
+					case tokens <- struct{}{}:
+					default: // bucket full; shed the token
+					}
+				case <-stopPacer:
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		next     atomic.Int64 // round-robin program index and request budget
+		mu       sync.Mutex
+		lats     []time.Duration
+		byStatus = map[string]int{}
+		okCount  int
+		errCount int
+	)
+	deadline := time.Now().Add(*duration)
+	record := func(lat time.Duration, status string, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		lats = append(lats, lat)
+		byStatus[status]++
+		if ok {
+			okCount++
+		} else {
+			errCount++
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1)
+				if *requests > 0 && n > int64(*requests) {
+					return
+				}
+				if *requests == 0 && time.Now().After(deadline) {
+					return
+				}
+				if tokens != nil {
+					<-tokens
+				}
+				body := bodies[int(n-1)%len(bodies)]
+				t0 := time.Now()
+				resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+				lat := time.Since(t0)
+				if err != nil {
+					record(lat, "transport_error", false)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				record(lat, fmt.Sprintf("%d", resp.StatusCode), resp.StatusCode == http.StatusOK)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopPacer)
+	elapsed := time.Since(start)
+
+	rep := report{
+		Requests:    okCount + errCount,
+		OK:          okCount,
+		Errors:      errCount,
+		ByStatus:    byStatus,
+		DurationSec: elapsed.Seconds(),
+		AchievedRPS: float64(okCount+errCount) / elapsed.Seconds(),
+		Latency:     serve.Summarize(lats),
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("loadgen: %d requests in %.2fs — %.1f req/s achieved\n",
+			rep.Requests, rep.DurationSec, rep.AchievedRPS)
+		fmt.Printf("loadgen: ok=%d errors=%d by-status=%v\n", rep.OK, rep.Errors, rep.ByStatus)
+		fmt.Printf("loadgen: latency %s\n", rep.Latency)
+	}
+	if rep.Errors > 0 && !*tolerate {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	if rep.Requests == 0 {
+		return fmt.Errorf("no requests issued")
+	}
+	return nil
+}
+
+// corpus renders n synthetic programs (half benign, half malware) to
+// assembly text.
+func corpus(n int, seed int64) ([]string, error) {
+	if n <= 0 {
+		n = 1
+	}
+	samples, err := synth.Generate(synth.Config{Seed: seed, NumBenign: (n + 1) / 2, NumMal: n / 2})
+	if err != nil {
+		return nil, err
+	}
+	bodies := make([]string, len(samples))
+	for i, s := range samples {
+		bodies[i] = s.Prog.String()
+	}
+	return bodies, nil
+}

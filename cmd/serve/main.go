@@ -1,0 +1,118 @@
+// Command serve runs the online detection service: an HTTP front end
+// over a saved detector whose inference core is the micro-batching
+// scheduler in internal/serve.
+//
+// Usage:
+//
+//	serve -model detector.gob -addr :8377 -batch 64 -window 2ms
+//
+// Endpoints: POST /v1/classify (assembly text or JSON), POST
+// /v1/classify/vector (raw feature vector), GET /metrics, /healthz,
+// /readyz.
+//
+// On SIGTERM or SIGINT the server drains gracefully: /readyz flips to
+// 503, the listener stops accepting, in-flight requests flush through
+// the batcher, and the process exits 0 with the drain accounting on
+// stderr — dropped is always 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model   = flag.String("model", "detector.gob", "detector file (train one with classify -train)")
+		addr    = flag.String("addr", ":8377", "listen address (use :0 for an ephemeral port)")
+		batch   = flag.Int("batch", 64, "max requests coalesced per inference batch")
+		window  = flag.Duration("window", 2*time.Millisecond, "max time a request waits for batch peers (0 = flush greedily)")
+		queue   = flag.Int("queue", 1024, "admission queue depth (full queue fast-fails 429)")
+		workers = flag.Int("workers", 0, "batcher workers (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 5*time.Second, "per-request budget in queue + inference")
+		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*model)
+	if err != nil {
+		return fmt.Errorf("opening detector (train one with classify -train): %w", err)
+	}
+	det, err := core.LoadDetector(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	w := *window
+	if w == 0 {
+		w = -1 // Config: negative = greedy flush, zero = default
+	}
+	srv, err := serve.New(serve.Config{
+		Detector:       det,
+		BatchSize:      *batch,
+		Window:         w,
+		QueueDepth:     *queue,
+		Workers:        *workers,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serve: listening on %s (batch=%d window=%v queue=%d)\n",
+		ln.Addr(), *batch, *window, *queue)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain sequence: stop advertising readiness, stop the listener and
+	// wait for in-flight handlers (which wait on the batcher), then
+	// flush the batcher queue. Order matters — Shutdown before Close
+	// keeps every accepted request answerable.
+	fmt.Fprintln(os.Stderr, "serve: signal received, draining")
+	srv.NotReady()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "serve: shutdown:", err)
+	}
+	st := srv.Drain()
+	fmt.Fprintf(os.Stderr, "serve: drained accepted=%d completed=%d dropped=%d\n",
+		st.Accepted, st.Completed, st.Dropped)
+	if st.Dropped != 0 {
+		return fmt.Errorf("drain dropped %d in-flight requests", st.Dropped)
+	}
+	return nil
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
+	"sync"
 
 	"advmal/internal/features"
 	"advmal/internal/ir"
@@ -13,6 +15,13 @@ import (
 
 // Detector is the deployable artefact: the fitted scaler plus the trained
 // CNN, everything needed to classify a new program without the corpus.
+//
+// A Detector is safe for concurrent use: Classify borrows a per-call
+// inference workspace from an internal pool of weight-sharing network
+// clones, so goroutines never contend on (or race over) shared
+// activation buffers. Mutating Net's weights while classifications are
+// in flight is the one excluded interleaving — deploy a new Detector
+// instead of retraining a live one.
 type Detector struct {
 	Scaler *features.Scaler
 	Net    *nn.Network
@@ -20,7 +29,25 @@ type Detector struct {
 	// its content-keyed cache; nil uses features.Shared. Not persisted —
 	// the cache is derived state.
 	Extractor *features.Extractor
+
+	// ws pools inference workspaces over weight-sharing clones of Net.
+	// Lazily populated; the zero value is ready to use.
+	ws sync.Pool
 }
+
+// AcquireWS borrows an inference workspace over a weight-sharing clone
+// of the detector's network. Callers that classify many vectors (the
+// serving batcher, the bench harness) hold one per worker; everyone else
+// goes through Classify, which borrows per call. Pair with ReleaseWS.
+func (d *Detector) AcquireWS() *nn.Workspace {
+	if v := d.ws.Get(); v != nil {
+		return v.(*nn.Workspace)
+	}
+	return d.Net.CloneShared().WS()
+}
+
+// ReleaseWS returns a workspace obtained from AcquireWS to the pool.
+func (d *Detector) ReleaseWS(w *nn.Workspace) { d.ws.Put(w) }
 
 // Detector returns the system's deployable detector, sharing the
 // system's feature cache.
@@ -33,22 +60,39 @@ func (s *System) Detector() (*Detector, error) {
 
 // Classify runs the full pipeline on one untrusted program. Faults in
 // any stage — including a panic inside a network layer — come back as
-// errors, never crashes.
+// errors, never crashes. Concurrent calls are race-clean: each borrows
+// its own pooled workspace for the inference step.
 func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
-	cfg, err := ir.Disassemble(prog)
+	scaled, _, _, err := d.Vectorize(prog)
 	if err != nil {
-		return 0, nil, fmt.Errorf("core: %w", err)
+		return 0, nil, err
 	}
-	raw := d.Extractor.Extract(cfg.G())
-	scaled, err := d.Scaler.Transform(raw)
-	if err != nil {
-		return 0, nil, fmt.Errorf("core: %w", err)
-	}
-	probs, err := d.Net.SafeProbs(scaled)
+	w := d.AcquireWS()
+	probs, err := w.SafeProbs(scaled)
+	d.ReleaseWS(w)
 	if err != nil {
 		return 0, nil, fmt.Errorf("core: %w", err)
 	}
 	return nn.Argmax(probs), probs, nil
+}
+
+// Vectorize runs the pre-inference pipeline on one untrusted program —
+// disassemble, extract CFG features (through the cache), scale — and
+// returns the network-ready vector plus the CFG's basic-block and edge
+// counts for reporting. It is the shared front half of Classify and the
+// serving path, which batches the inference step separately.
+func (d *Detector) Vectorize(prog *ir.Program) (vec []float64, blocks, edges int, err error) {
+	cfg, err := ir.Disassemble(prog)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: %w", err)
+	}
+	g := cfg.G()
+	raw := d.Extractor.Extract(g)
+	scaled, err := d.Scaler.Transform(raw)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("core: %w", err)
+	}
+	return scaled, g.N(), g.M(), nil
 }
 
 // detectorEnvelope is the on-disk format: the scaler ranges plus the gob
@@ -79,7 +123,21 @@ func (d *Detector) Save(w io.Writer) error {
 }
 
 // LoadDetector restores a detector written by Save into a fresh PaperCNN.
-func LoadDetector(r io.Reader) (*Detector, error) {
+//
+// It is hardened for serving: a corrupt, truncated, or trailing-garbage
+// model file comes back as a descriptive error, never a decode panic or a
+// silently zero-valued detector. Every failure path returns a nil
+// detector — a load error can never hand back a partially-initialised
+// artefact.
+func LoadDetector(r io.Reader) (d *Detector, err error) {
+	// encoding/gob panics (rather than erroring) on some corrupt streams,
+	// e.g. absurd length prefixes fabricated by a bit flip; serving must
+	// see those as load errors too.
+	defer func() {
+		if rec := recover(); rec != nil {
+			d, err = nil, fmt.Errorf("core: load detector: corrupt model file: %v", rec)
+		}
+	}()
 	var env detectorEnvelope
 	if err := gob.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("core: load detector: %w", err)
@@ -88,12 +146,24 @@ func LoadDetector(r io.Reader) (*Detector, error) {
 		return nil, fmt.Errorf("core: load detector: scaler has %d/%d ranges, want %d",
 			len(env.Min), len(env.Max), features.NumFeatures)
 	}
-	d := &Detector{
+	for i := range env.Min {
+		lo, hi := env.Min[i], env.Max[i]
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+			return nil, fmt.Errorf("core: load detector: scaler range %d is not finite (min %v, max %v)", i, lo, hi)
+		}
+		if hi < lo {
+			return nil, fmt.Errorf("core: load detector: scaler range %d inverted (min %v > max %v)", i, lo, hi)
+		}
+	}
+	if len(env.Weights) == 0 {
+		return nil, fmt.Errorf("core: load detector: envelope has no weights")
+	}
+	d = &Detector{
 		Scaler: &features.Scaler{Min: env.Min, Max: env.Max},
 		Net:    nn.PaperCNN(0),
 	}
 	if err := d.Net.Load(bytes.NewReader(env.Weights)); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load detector: weights: %w", err)
 	}
 	return d, nil
 }

@@ -201,3 +201,80 @@ func TestExtractorConcurrent(t *testing.T) {
 }
 
 var errMismatch = errors.New("concurrent extract mismatch")
+
+// TestExtractorConcurrentChurn is the serving-concurrency regression: a
+// cache far smaller than the working set under concurrent mixed hit/miss
+// traffic, so lookups, inserts, and evictions interleave constantly
+// (run under -race by `make check` and `make race-serve`). Pins three
+// invariants: every returned vector matches ground truth bit for bit
+// even when its entry is evicted mid-flight (returned vectors are
+// private copies, so a reader can also scribble on them freely), the
+// hit/miss counters account for exactly every lookup, and the cache
+// never exceeds its capacity.
+func TestExtractorConcurrentChurn(t *testing.T) {
+	const (
+		capacity   = 4
+		workingSet = 16 // 4x capacity: most lookups evict something
+		goroutines = 8
+		iters      = 300
+	)
+	e := NewExtractor(capacity)
+	rng := rand.New(rand.NewSource(17))
+	graphs := make([]*graph.Graph, workingSet)
+	oracle := make([]Vector, workingSet)
+	for i := range graphs {
+		graphs[i] = graph.RandomFlow(rng, 6+2*i, 0.25)
+		oracle[i] = ExtractNaive(graphs[i])
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-goroutine skew: low indices are hot (hits), high ones
+			// cold (misses + evictions), so the mix exercises both paths.
+			for i := 0; i < iters; i++ {
+				var j int
+				if i%3 == 0 {
+					j = (w*7 + i) % workingSet // cold sweep
+				} else {
+					j = i % capacity // hot set
+				}
+				v := e.Extract(graphs[j])
+				if !vectorsBitEqual(v, oracle[j]) {
+					errc <- errMismatch
+					return
+				}
+				// Returned vectors are private copies: mutating one must
+				// never corrupt what other goroutines read.
+				for k := range v {
+					v[k] = -1
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if got, want := st.Hits+st.Misses, uint64(goroutines*iters); got != want {
+		t.Fatalf("counters leak: hits %d + misses %d = %d, want %d lookups",
+			st.Hits, st.Misses, got, want)
+	}
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("churn did not mix hits and misses: %+v", st)
+	}
+	if st.Len > capacity {
+		t.Fatalf("cache exceeded capacity: %d > %d", st.Len, capacity)
+	}
+	// The cache must still be coherent after the churn: every entry it
+	// serves now matches ground truth.
+	for i, g := range graphs {
+		if !vectorsBitEqual(e.Extract(g), oracle[i]) {
+			t.Fatalf("post-churn corruption for graph %d", i)
+		}
+	}
+}

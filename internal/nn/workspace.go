@@ -42,6 +42,8 @@ type Workspace struct {
 	probs  []float64   // softmax output
 	jac    [][]float64 // nClasses rows of inputDim
 	inDim  int
+	shapes [][]int    // activation shape at every layer boundary
+	bp     *batchPlan // batch-major eval buffers, built on first batch call
 }
 
 // wsState is the per-layer mutable state a workspace owns so running the
@@ -92,6 +94,7 @@ func NewWorkspace(net *Network) *Workspace {
 		dlog:    make([]float64, net.nClasses),
 		probs:   make([]float64, net.nClasses),
 		inDim:   net.InputDim(),
+		shapes:  shapes,
 	}
 	ws.acts[0] = tensor.New(shapes[0]...)
 	ws.gbufs[0] = tensor.New(shapes[0]...)
@@ -305,27 +308,45 @@ func (ws *Workspace) SafeProbs(x []float64) (out []float64, err error) {
 	return append([]float64(nil), ws.Probs(x)...), nil
 }
 
-// ProbsBatch runs eval-mode softmax probabilities for every row of xs,
-// amortizing dispatch over the batch. Rows are written into dst, which is
-// grown as needed and returned; pass a previously returned dst to make
-// steady-state batches allocation-free.
+// ProbsBatch runs eval-mode softmax probabilities for every row of xs.
+// Batches of two or more rows execute batch-major (see batchPlan): layers
+// outside, rows inside, with Dense/Conv1D weight rows reused across the
+// batch — bit-identical to the per-row path and substantially faster
+// per row, since each weight row is streamed once per batch instead of
+// once per input. Rows are written into dst, which is grown as needed and
+// returned; pass a previously returned dst to make steady-state batches
+// allocation-free.
 func (ws *Workspace) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
 	dst = growRows(dst, len(xs), ws.net.nClasses)
-	for i, x := range xs {
-		copy(dst[i], ws.Probs(x))
+	switch len(xs) {
+	case 0:
+	case 1:
+		copy(dst[0], ws.Probs(xs[0]))
+	default:
+		logits, stride := ws.forwardBatch(xs)
+		for r := range xs {
+			SoftmaxInto(dst[r], logits[r*stride:r*stride+ws.net.nClasses])
+		}
 	}
 	return dst
 }
 
 // PredictBatch runs eval-mode argmax predictions for every row of xs into
-// dst (grown as needed and returned).
+// dst (grown as needed and returned), batch-major like ProbsBatch.
 func (ws *Workspace) PredictBatch(xs [][]float64, dst []int) []int {
 	if cap(dst) < len(xs) {
 		dst = make([]int, len(xs))
 	}
 	dst = dst[:len(xs)]
-	for i, x := range xs {
-		dst[i] = ws.Predict(x)
+	switch len(xs) {
+	case 0:
+	case 1:
+		dst[0] = ws.Predict(xs[0])
+	default:
+		logits, stride := ws.forwardBatch(xs)
+		for r := range xs {
+			dst[r] = Argmax(logits[r*stride : r*stride+ws.net.nClasses])
+		}
 	}
 	return dst
 }

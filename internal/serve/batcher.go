@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"advmal/internal/pool"
+)
+
+// Admission and lifecycle errors. Submit returns exactly one of these
+// (or the request context's error) — the server maps them to 429/503/504.
+var (
+	// ErrQueueFull is the fast-fail admission response: the bounded
+	// queue is at its depth limit, so the request is rejected
+	// immediately instead of waiting.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrDraining means Close has begun: the batcher no longer accepts
+	// work but will finish everything already queued.
+	ErrDraining = errors.New("serve: draining")
+	// ErrBadInput means the submitted vector has the wrong dimension.
+	ErrBadInput = errors.New("serve: bad input dimension")
+)
+
+// BatchEngine is the inference contract the batcher schedules onto: the
+// batched fast path plus a recover-guarded per-row fallback used to
+// isolate a poisoned row when a batch panics. *nn.Workspace satisfies
+// it; tests substitute fakes.
+type BatchEngine interface {
+	ProbsBatch(xs [][]float64, dst [][]float64) [][]float64
+	SafeProbs(x []float64) ([]float64, error)
+}
+
+// BatcherConfig configures a Batcher. Zero values select the defaults
+// noted on each field.
+type BatcherConfig struct {
+	// Workers is the number of scheduler goroutines, each owning one
+	// BatchEngine. Default GOMAXPROCS.
+	Workers int
+	// BatchSize is the coalescing cap: a worker flushes a batch once it
+	// holds this many requests. Default 64.
+	BatchSize int
+	// Window is the coalescing deadline: a worker holding at least one
+	// request flushes no later than this after it picked up the first,
+	// bounding the latency cost of waiting for peers. Zero means flush
+	// greedily (take whatever is already queued, never wait).
+	Window time.Duration
+	// QueueDepth bounds the request queue; a full queue fast-fails
+	// Submit with ErrQueueFull. Default 1024.
+	QueueDepth int
+	// InputDim, when positive, validates vector length at Submit time.
+	InputDim int
+	// NewEngine builds one engine per worker. Required.
+	NewEngine func() BatchEngine
+	// Metrics, when non-nil, receives batch-size, queue-wait, and
+	// inference-latency observations plus panic counts.
+	Metrics *Metrics
+}
+
+// request is one queued classification.
+type request struct {
+	x   []float64
+	enq time.Time
+	// done is buffered so a worker can always deliver, even when the
+	// submitter abandoned the request on context expiry.
+	done chan result
+}
+
+type result struct {
+	probs []float64
+	err   error
+}
+
+// Batcher is the micro-batching scheduler. Submit enqueues a vector
+// into a bounded channel; worker goroutines coalesce queued requests
+// into batches — flushing when BatchSize is reached or Window elapses —
+// and execute them on per-worker engines. A panic inside a batch is
+// isolated pool-style: the batch falls back to recover-guarded per-row
+// execution so one poisoned vector fails alone.
+//
+// Lifecycle: Close stops admission and then drains — closing the queue
+// channel lets workers keep receiving buffered requests until empty, so
+// every request accepted before Close observes a result (the zero-drop
+// drain invariant; Stats reports the accounting).
+type Batcher struct {
+	cfg     BatcherConfig
+	queue   chan *request
+	mu      sync.RWMutex // guards draining vs. send-on-closed-channel
+	drain   bool
+	wg      sync.WaitGroup
+	started atomic.Uint64 // accepted into the queue
+	done    atomic.Uint64 // results delivered (incl. to abandoned requests)
+}
+
+// NewBatcher starts the worker pool and returns the batcher.
+func NewBatcher(cfg BatcherConfig) *Batcher {
+	if cfg.NewEngine == nil {
+		panic("serve: BatcherConfig.NewEngine is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	b := &Batcher{cfg: cfg, queue: make(chan *request, cfg.QueueDepth)}
+	for w := 0; w < cfg.Workers; w++ {
+		b.wg.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// Submit enqueues x and blocks until its result, the context's deadline,
+// or an admission failure. The returned probability vector is the
+// caller's to keep. Admission is fast-fail: a full queue returns
+// ErrQueueFull immediately (the server turns that into 429), and a
+// draining batcher returns ErrDraining (503).
+func (b *Batcher) Submit(ctx context.Context, x []float64) ([]float64, error) {
+	if b.cfg.InputDim > 0 && len(x) != b.cfg.InputDim {
+		return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), b.cfg.InputDim)
+	}
+	req := &request{x: x, enq: time.Now(), done: make(chan result, 1)}
+
+	// The read lock makes admission atomic with respect to Close: the
+	// queue channel cannot be closed between the drain check and the
+	// send, so Submit never panics on a closed channel.
+	b.mu.RLock()
+	if b.drain {
+		b.mu.RUnlock()
+		b.cfg.Metrics.reject(true)
+		return nil, ErrDraining
+	}
+	select {
+	case b.queue <- req:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		b.cfg.Metrics.reject(false)
+		return nil, ErrQueueFull
+	}
+	b.started.Add(1)
+	if m := b.cfg.Metrics; m != nil {
+		m.Requests.Add(1)
+	}
+
+	select {
+	case res := <-req.done:
+		return res.probs, res.err
+	case <-ctx.Done():
+		// The worker will still execute the request and deliver into
+		// the buffered channel; only this waiter gives up.
+		if m := b.cfg.Metrics; m != nil {
+			m.Expired.Add(1)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// reject records an admission rejection (nil-safe).
+func (m *Metrics) reject(draining bool) {
+	if m == nil {
+		return
+	}
+	if draining {
+		m.RejectedDrn.Add(1)
+	} else {
+		m.RejectedFul.Add(1)
+	}
+}
+
+// Close stops admission, waits for every queued request to be executed
+// and answered, and then returns. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.drain {
+		b.drain = true
+		close(b.queue)
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// BatcherStats is the drain accounting: Accepted requests entered the
+// queue, Completed received results. After Close these are equal —
+// Dropped is the difference and the zero-drop invariant is Dropped == 0.
+type BatcherStats struct {
+	Accepted  uint64 `json:"accepted"`
+	Completed uint64 `json:"completed"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// Stats returns the current accounting. Only stable after Close.
+func (b *Batcher) Stats() BatcherStats {
+	acc, done := b.started.Load(), b.done.Load()
+	return BatcherStats{Accepted: acc, Completed: done, Dropped: acc - done}
+}
+
+// worker owns one engine and loops: block for the batch's first request,
+// then coalesce more until BatchSize or Window, then execute. A closed
+// queue keeps yielding its buffered requests before reporting closed, so
+// the drain path needs no special casing — workers simply run the queue
+// dry and exit.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	eng := b.cfg.NewEngine()
+	var (
+		batch []*request
+		xs    [][]float64
+		dst   [][]float64
+	)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		first, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		if b.cfg.Window > 0 {
+			timer.Reset(b.cfg.Window)
+			expired := false
+		fill:
+			for len(batch) < b.cfg.BatchSize {
+				select {
+				case req, ok := <-b.queue:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, req)
+				case <-timer.C:
+					expired = true
+					break fill
+				}
+			}
+			if !expired && !timer.Stop() {
+				<-timer.C
+			}
+		} else {
+			// Greedy flush: take whatever is already queued, never wait.
+			for len(batch) < b.cfg.BatchSize {
+				select {
+				case req, ok := <-b.queue:
+					if !ok {
+						goto exec
+					}
+					batch = append(batch, req)
+				default:
+					goto exec
+				}
+			}
+		}
+	exec:
+		dst = b.exec(eng, batch, &xs, dst)
+	}
+}
+
+// exec runs one batch and answers every request in it. The engine's dst
+// rows are reused across batches, so each result gets a private copy.
+func (b *Batcher) exec(eng BatchEngine, batch []*request, xs *[][]float64, dst [][]float64) [][]float64 {
+	m := b.cfg.Metrics
+	start := time.Now()
+	if m != nil {
+		m.BatchSize.Observe(float64(len(batch)))
+		for _, req := range batch {
+			m.QueueWait.ObserveDuration(start.Sub(req.enq))
+		}
+	}
+	*xs = (*xs)[:0]
+	for _, req := range batch {
+		*xs = append(*xs, req.x)
+	}
+	out, err := probsBatchSafe(eng, *xs, dst)
+	if err == nil {
+		dst = out
+		for i, req := range batch {
+			probs := make([]float64, len(dst[i]))
+			copy(probs, dst[i])
+			req.done <- result{probs: probs}
+			b.done.Add(1)
+		}
+	} else {
+		// The batch panicked. Re-run each row alone through the
+		// recover-guarded per-row path so the poisoned row fails with
+		// its own error and every healthy row still gets its verdict.
+		if m != nil {
+			m.Panics.Add(1)
+		}
+		for _, req := range batch {
+			probs, rerr := eng.SafeProbs(req.x)
+			if rerr == nil {
+				probs = append([]float64(nil), probs...)
+			}
+			req.done <- result{probs: probs, err: rerr}
+			b.done.Add(1)
+		}
+	}
+	if m != nil {
+		m.InferLat.ObserveDuration(time.Since(start))
+	}
+	return dst
+}
+
+// probsBatchSafe is the batch-level panic boundary, capturing faults
+// with their stacks pool-style so they stay diagnosable.
+func probsBatchSafe(eng BatchEngine, xs [][]float64, dst [][]float64) (out [][]float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, &pool.PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return eng.ProbsBatch(xs, dst), nil
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"advmal/internal/nn"
+	"advmal/internal/pool"
+)
+
+// wsEngine returns a real inference engine factory over one shared net.
+func wsEngine(net *nn.Network) func() BatchEngine {
+	return func() BatchEngine { return net.CloneShared().WS() }
+}
+
+func randBatch(n, dim int, seed int64) [][]float64 {
+	xs := make([][]float64, n)
+	v := seed
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for j := range xs[i] {
+			v = v*6364136223846793005 + 1442695040888963407
+			xs[i][j] = float64(v%1000) / 1000
+		}
+	}
+	return xs
+}
+
+// TestBatcherMatchesDirect submits concurrently through the batcher and
+// checks every result is bit-identical to a direct workspace call — the
+// scheduler must change scheduling, never results.
+func TestBatcherMatchesDirect(t *testing.T) {
+	net := nn.PaperCNN(7)
+	b := NewBatcher(BatcherConfig{
+		Workers: 2, BatchSize: 8, Window: 500 * time.Microsecond,
+		QueueDepth: 256, NewEngine: wsEngine(net),
+	})
+	defer b.Close()
+	ref := net.CloneShared().WS()
+	xs := randBatch(48, net.InputDim(), 3)
+	want := make([][]float64, len(xs))
+	for i, x := range xs {
+		want[i] = append([]float64(nil), ref.Probs(x)...)
+	}
+	var wg sync.WaitGroup
+	for i, x := range xs {
+		wg.Add(1)
+		go func(i int, x []float64) {
+			defer wg.Done()
+			probs, err := b.Submit(context.Background(), x)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			for c := range probs {
+				if probs[c] != want[i][c] {
+					t.Errorf("row %d class %d: batcher %v direct %v", i, c, probs[c], want[i][c])
+					return
+				}
+			}
+		}(i, x)
+	}
+	wg.Wait()
+}
+
+// blockEngine lets a test hold batches open to fill the queue.
+type blockEngine struct {
+	release chan struct{} // receive = permission to finish one batch
+	entered atomic.Int32  // batches currently or previously started
+	classes int
+}
+
+func (e *blockEngine) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
+	e.entered.Add(1)
+	<-e.release
+	out := make([][]float64, len(xs))
+	for i := range out {
+		out[i] = make([]float64, e.classes)
+		out[i][0] = 1
+	}
+	return out
+}
+
+func (e *blockEngine) SafeProbs(x []float64) ([]float64, error) {
+	p := make([]float64, e.classes)
+	p[0] = 1
+	return p, nil
+}
+
+// TestBatcherQueueFull pins fast-fail admission: with the worker wedged
+// and the queue at depth, Submit returns ErrQueueFull immediately.
+func TestBatcherQueueFull(t *testing.T) {
+	eng := &blockEngine{release: make(chan struct{}), classes: 2}
+	m := NewMetrics()
+	b := NewBatcher(BatcherConfig{
+		Workers: 1, BatchSize: 1, Window: 0, QueueDepth: 2,
+		NewEngine: func() BatchEngine { return eng }, Metrics: m,
+	})
+	// Wedge the worker on one in-flight request, then fill the queue.
+	results := make(chan error, 8)
+	submit := func() {
+		_, err := b.Submit(context.Background(), []float64{1})
+		results <- err
+	}
+	go submit()
+	// Wait until the worker is wedged inside the batch (the request is
+	// out of the queue) before filling the queue itself.
+	waitFor(t, func() bool { return eng.entered.Load() == 1 })
+	go submit()
+	go submit()
+	waitFor(t, func() bool { return m.Requests.Load() == 3 })
+	if _, err := b.Submit(context.Background(), []float64{1}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if m.RejectedFul.Load() != 1 {
+		t.Fatalf("queue-full rejections = %d, want 1", m.RejectedFul.Load())
+	}
+	// Release everything and verify the wedged requests complete.
+	go func() {
+		for i := 0; i < 3; i++ {
+			eng.release <- struct{}{}
+		}
+	}()
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("wedged request %d failed: %v", i, err)
+		}
+	}
+	b.Close()
+}
+
+// TestBatcherDrainZeroDrops is the graceful-shutdown invariant: every
+// request accepted before Close gets a result, and the accounting shows
+// zero drops.
+func TestBatcherDrainZeroDrops(t *testing.T) {
+	net := nn.PaperCNN(11)
+	b := NewBatcher(BatcherConfig{
+		Workers: 2, BatchSize: 4, Window: 200 * time.Microsecond,
+		QueueDepth: 256, NewEngine: wsEngine(net),
+	})
+	xs := randBatch(64, net.InputDim(), 5)
+	var wg sync.WaitGroup
+	var completed, rejected int64
+	var mu sync.Mutex
+	for _, x := range xs {
+		wg.Add(1)
+		go func(x []float64) {
+			defer wg.Done()
+			probs, err := b.Submit(context.Background(), x)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && len(probs) == 2:
+				completed++
+			case errors.Is(err, ErrDraining):
+				rejected++
+			default:
+				t.Errorf("unexpected result: probs=%v err=%v", probs, err)
+			}
+		}(x)
+	}
+	// Close while submissions are racing in: accepted ones must still
+	// complete, late ones must see ErrDraining.
+	b.Close()
+	wg.Wait()
+	st := b.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("drain dropped %d of %d accepted requests", st.Dropped, st.Accepted)
+	}
+	if completed != int64(st.Completed) {
+		t.Fatalf("callers saw %d completions, batcher accounted %d", completed, st.Completed)
+	}
+	if completed+rejected != int64(len(xs)) {
+		t.Fatalf("accounting leak: %d completed + %d rejected != %d submitted",
+			completed, rejected, len(xs))
+	}
+	// Post-drain submissions are turned away, not deadlocked.
+	if _, err := b.Submit(context.Background(), xs[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close submit: err = %v, want ErrDraining", err)
+	}
+}
+
+// poisonEngine panics batch-wide when any row carries the poison marker,
+// and fails only the poisoned row in per-row fallback mode — the fake
+// models a data-dependent kernel fault.
+type poisonEngine struct{ classes int }
+
+func (e *poisonEngine) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		if math.IsNaN(x[0]) {
+			panic(fmt.Sprintf("poisoned row %d", i))
+		}
+		out[i] = make([]float64, e.classes)
+		out[i][1] = x[0]
+	}
+	return out
+}
+
+func (e *poisonEngine) SafeProbs(x []float64) ([]float64, error) {
+	if math.IsNaN(x[0]) {
+		return nil, errors.New("poisoned input")
+	}
+	p := make([]float64, e.classes)
+	p[1] = x[0]
+	return p, nil
+}
+
+// TestBatcherPanicIsolation pins per-batch fault isolation: a row that
+// panics the batched kernel fails alone via the per-row fallback, while
+// every cohabitant of its batch still gets a correct verdict and the
+// panic is counted.
+func TestBatcherPanicIsolation(t *testing.T) {
+	m := NewMetrics()
+	b := NewBatcher(BatcherConfig{
+		Workers: 1, BatchSize: 8, Window: time.Millisecond, QueueDepth: 64,
+		NewEngine: func() BatchEngine { return &poisonEngine{classes: 2} },
+		Metrics:   m,
+	})
+	defer b.Close()
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	probs := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			x := []float64{float64(i + 1)}
+			if i == 3 {
+				x[0] = math.NaN()
+			}
+			probs[i], errs[i] = b.Submit(context.Background(), x)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			if errs[i] == nil {
+				t.Fatalf("poisoned row classified successfully: %v", probs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("healthy row %d failed: %v", i, errs[i])
+		}
+		if probs[i][1] != float64(i+1) {
+			t.Fatalf("healthy row %d: wrong result %v", i, probs[i])
+		}
+	}
+	if m.Panics.Load() == 0 {
+		t.Fatal("batch panic not counted")
+	}
+}
+
+// TestBatcherPanicError checks the captured panic carries its stack
+// pool-style when even the per-row fallback panics.
+func TestBatcherPanicError(t *testing.T) {
+	var pe *pool.PanicError
+	_, err := probsBatchSafe(panicEngine{}, [][]float64{{1}}, nil)
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *pool.PanicError", err)
+	}
+	if pe.Value != "kernel fault" || len(pe.Stack) == 0 {
+		t.Fatalf("panic not preserved: %+v", pe)
+	}
+}
+
+type panicEngine struct{}
+
+func (panicEngine) ProbsBatch([][]float64, [][]float64) [][]float64 { panic("kernel fault") }
+func (panicEngine) SafeProbs([]float64) ([]float64, error)          { panic("kernel fault") }
+
+// TestBatcherContextExpiry: a request whose context dies in queue gets
+// its context error immediately; the batcher still executes and accounts
+// it without blocking the worker.
+func TestBatcherContextExpiry(t *testing.T) {
+	eng := &blockEngine{release: make(chan struct{}), classes: 2}
+	m := NewMetrics()
+	b := NewBatcher(BatcherConfig{
+		Workers: 1, BatchSize: 1, Window: 0, QueueDepth: 8,
+		NewEngine: func() BatchEngine { return eng }, Metrics: m,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	_, err := b.Submit(ctx, []float64{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if m.Expired.Load() != 1 {
+		t.Fatalf("expired = %d, want 1", m.Expired.Load())
+	}
+	// The worker must still be able to finish the abandoned request
+	// (buffered done channel) and then drain cleanly.
+	eng.release <- struct{}{}
+	b.Close()
+	if st := b.Stats(); st.Dropped != 0 {
+		t.Fatalf("abandoned request dropped: %+v", st)
+	}
+}
+
+// TestBatcherBadInput pins Submit-time dimension validation.
+func TestBatcherBadInput(t *testing.T) {
+	b := NewBatcher(BatcherConfig{
+		Workers: 1, InputDim: 23,
+		NewEngine: func() BatchEngine { return &blockEngine{release: make(chan struct{}), classes: 2} },
+	})
+	defer b.Close()
+	if _, err := b.Submit(context.Background(), make([]float64, 7)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("err = %v, want ErrBadInput", err)
+	}
+}
+
+// waitFor polls cond with a deadline; the queue tests use it to reach a
+// known scheduler state without sleeps.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

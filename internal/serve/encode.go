@@ -1,0 +1,58 @@
+// Package serve is the online detection service: a stdlib-only HTTP
+// front end over a loaded core.Detector whose inference core is a
+// micro-batching scheduler (see Batcher). Requests queue into a bounded
+// channel, workers coalesce them into batches — flushing on batch size
+// or a latency window — and execute them on per-worker zero-allocation
+// nn.Workspaces via ProbsBatch, so single-request latency stays within
+// the window while throughput approaches the batched-kernel ceiling.
+//
+// The package also owns the wire schema (Verdict) shared with
+// cmd/classify's -json mode, the serving metrics registry, and the
+// latency-summary helpers shared with cmd/loadgen and cmd/bench.
+package serve
+
+import "advmal/internal/nn"
+
+// Verdict is the service's response schema for one classified program —
+// also emitted, one object per line, by `classify -json`, so offline and
+// online verdicts are diffable.
+type Verdict struct {
+	// Name identifies the program: the request's name field or the
+	// source file path. Empty when the caller supplied neither.
+	Name string `json:"name,omitempty"`
+	// Class is the predicted class index (0 benign, 1 malware).
+	Class int `json:"class"`
+	// Label is the human-readable class name.
+	Label string `json:"label"`
+	// Confidence is the predicted class's probability.
+	Confidence float64 `json:"confidence"`
+	// Probs is the full class-probability vector.
+	Probs []float64 `json:"probs"`
+	// Blocks and Edges summarize the program's CFG. Omitted for raw
+	// feature-vector requests, which carry no graph.
+	Blocks int `json:"blocks,omitempty"`
+	Edges  int `json:"edges,omitempty"`
+}
+
+// Label returns the wire label for a class index.
+func Label(class int) string {
+	if class == nn.ClassMalware {
+		return "malware"
+	}
+	return "benign"
+}
+
+// MakeVerdict assembles a Verdict from a probability vector and CFG
+// summary counts (pass zeros for vector-only requests).
+func MakeVerdict(name string, probs []float64, blocks, edges int) Verdict {
+	class := nn.Argmax(probs)
+	return Verdict{
+		Name:       name,
+		Class:      class,
+		Label:      Label(class),
+		Confidence: probs[class],
+		Probs:      probs,
+		Blocks:     blocks,
+		Edges:      edges,
+	}
+}

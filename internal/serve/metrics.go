@@ -1,0 +1,174 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"advmal/internal/features"
+)
+
+// Histogram is a fixed-bucket, lock-free histogram. Buckets are
+// cumulative-upper-bound style (Prometheus semantics): counts[i] counts
+// observations <= bounds[i], with a final implicit +Inf bucket. All
+// methods are safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // bits of a float64 accumulated via CAS
+	total  atomic.Uint64
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// durationBounds are the latency buckets (seconds): 50µs … 1s.
+func durationBounds() []float64 {
+	return []float64{50e-6, 100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1}
+}
+
+// batchBounds are the batch-size buckets.
+func batchBounds() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile: the
+// smallest bucket bound whose cumulative count covers fraction q of the
+// observations (+Inf bucket falls back to the largest finite bound).
+// Zero when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	need := uint64(math.Ceil(q * float64(total)))
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= need {
+			return b
+		}
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return 0
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *Histogram) write(w io.Writer, name string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func formatBound(b float64) string {
+	if b == math.Trunc(b) && math.Abs(b) < 1e6 {
+		return fmt.Sprintf("%g", b)
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// Metrics is the serving observability registry: atomic counters and
+// histograms covering the request path end to end. One instance is
+// shared by the server, the batcher, and /metrics.
+type Metrics struct {
+	// Request-path counters.
+	Requests    atomic.Uint64 // accepted into the queue
+	RejectedFul atomic.Uint64 // fast-429: queue at depth bound
+	RejectedDrn atomic.Uint64 // 503: draining, no longer accepting
+	Expired     atomic.Uint64 // request context expired before its result
+	Errors      atomic.Uint64 // requests answered with an error verdict
+	Panics      atomic.Uint64 // batch panics isolated by the batcher
+
+	// Verdict counters, by class index.
+	VerdictBenign  atomic.Uint64
+	VerdictMalware atomic.Uint64
+
+	// Distributions.
+	BatchSize *Histogram // rows per executed batch
+	QueueWait *Histogram // enqueue → batch start, seconds
+	InferLat  *Histogram // batch execution, seconds
+}
+
+// NewMetrics returns a registry with the standard buckets.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		BatchSize: NewHistogram(batchBounds()...),
+		QueueWait: NewHistogram(durationBounds()...),
+		InferLat:  NewHistogram(durationBounds()...),
+	}
+}
+
+// Verdict records one verdict by class.
+func (m *Metrics) Verdict(class int) {
+	if m == nil {
+		return
+	}
+	if class == 1 {
+		m.VerdictMalware.Add(1)
+	} else {
+		m.VerdictBenign.Add(1)
+	}
+}
+
+// WriteText emits every metric in Prometheus text exposition format,
+// plus the feature-cache counters and hit rate from cache (pass a zero
+// CacheStats when no extractor is wired in).
+func (m *Metrics) WriteText(w io.Writer, cache features.CacheStats) {
+	fmt.Fprintf(w, "advmal_requests_total %d\n", m.Requests.Load())
+	fmt.Fprintf(w, "advmal_rejected_total{reason=\"queue_full\"} %d\n", m.RejectedFul.Load())
+	fmt.Fprintf(w, "advmal_rejected_total{reason=\"draining\"} %d\n", m.RejectedDrn.Load())
+	fmt.Fprintf(w, "advmal_expired_total %d\n", m.Expired.Load())
+	fmt.Fprintf(w, "advmal_errors_total %d\n", m.Errors.Load())
+	fmt.Fprintf(w, "advmal_batch_panics_total %d\n", m.Panics.Load())
+	fmt.Fprintf(w, "advmal_verdicts_total{class=\"benign\"} %d\n", m.VerdictBenign.Load())
+	fmt.Fprintf(w, "advmal_verdicts_total{class=\"malware\"} %d\n", m.VerdictMalware.Load())
+	m.BatchSize.write(w, "advmal_batch_size")
+	m.QueueWait.write(w, "advmal_queue_wait_seconds")
+	m.InferLat.write(w, "advmal_inference_seconds")
+	fmt.Fprintf(w, "advmal_feature_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "advmal_feature_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "advmal_feature_cache_entries %d\n", cache.Len)
+	if total := cache.Hits + cache.Misses; total > 0 {
+		fmt.Fprintf(w, "advmal_feature_cache_hit_rate %g\n", float64(cache.Hits)/float64(total))
+	} else {
+		fmt.Fprintf(w, "advmal_feature_cache_hit_rate 0\n")
+	}
+}

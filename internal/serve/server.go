@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/features"
+	"advmal/internal/ir"
+)
+
+// Config configures a Server. Detector is required; everything else has
+// the default noted on its field.
+type Config struct {
+	// Detector classifies. Required.
+	Detector *core.Detector
+	// BatchSize and Window tune the micro-batcher (see BatcherConfig).
+	// Defaults: 64 and 2ms.
+	BatchSize int
+	Window    time.Duration
+	// QueueDepth bounds admission. Default 1024.
+	QueueDepth int
+	// Workers is the batcher's worker count. Default GOMAXPROCS.
+	Workers int
+	// RequestTimeout bounds each request's time in queue + inference.
+	// Default 5s.
+	RequestTimeout time.Duration
+	// MaxBody bounds request bodies. Default 1 MiB.
+	MaxBody int64
+	// NewEngine overrides the per-worker inference engine; nil borrows
+	// detector workspaces. Tests use it to inject fakes.
+	NewEngine func() BatchEngine
+}
+
+// Server is the detection service: HTTP handlers over a Batcher over a
+// core.Detector. Create with New, expose via Handler, stop with Drain.
+type Server struct {
+	cfg     Config
+	det     *core.Detector
+	batcher *Batcher
+	metrics *Metrics
+	ready   atomic.Bool
+	mux     *http.ServeMux
+}
+
+// defaultWindow is the default coalescing window.
+const defaultWindow = 2 * time.Millisecond
+
+// New builds the server and starts its batcher workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Detector == nil {
+		return nil, fmt.Errorf("serve: Config.Detector is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.Window < 0 {
+		cfg.Window = 0
+	} else if cfg.Window == 0 {
+		cfg.Window = defaultWindow
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 1 << 20
+	}
+	s := &Server{cfg: cfg, det: cfg.Detector, metrics: NewMetrics()}
+	newEngine := cfg.NewEngine
+	if newEngine == nil {
+		det := cfg.Detector
+		newEngine = func() BatchEngine { return det.AcquireWS() }
+	}
+	s.batcher = NewBatcher(BatcherConfig{
+		Workers:    cfg.Workers,
+		BatchSize:  cfg.BatchSize,
+		Window:     cfg.Window,
+		QueueDepth: cfg.QueueDepth,
+		InputDim:   features.NumFeatures,
+		NewEngine:  newEngine,
+		Metrics:    s.metrics,
+	})
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/classify/vector", s.handleVector)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.ready.Store(true)
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Batcher exposes the scheduler (drain accounting for shutdown logs).
+func (s *Server) Batcher() *Batcher { return s.batcher }
+
+// NotReady flips /readyz to 503 so load balancers stop routing here.
+// Called first in the drain sequence, before the listener stops.
+func (s *Server) NotReady() { s.ready.Store(false) }
+
+// Drain executes the batcher side of graceful shutdown: stop admission,
+// flush everything queued, and return the final accounting. The caller
+// is expected to have stopped the HTTP listener first (http.Server.
+// Shutdown waits for in-flight handlers, which in turn wait on the
+// batcher — so the order is NotReady, Shutdown, Drain).
+func (s *Server) Drain() BatcherStats {
+	s.ready.Store(false)
+	s.batcher.Close()
+	return s.batcher.Stats()
+}
+
+// classifyRequest is the JSON request body for /v1/classify. The
+// endpoint also accepts raw assembly text (any non-JSON content type).
+type classifyRequest struct {
+	Name    string `json:"name,omitempty"`
+	Program string `json:"program"`
+}
+
+// vectorRequest is the JSON request body for /v1/classify/vector: a raw
+// (unscaled) Table II feature vector.
+type vectorRequest struct {
+	Name   string    `json:"name,omitempty"`
+	Vector []float64 `json:"vector"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// handleClassify accepts one program — as raw assembly text, or as JSON
+// {"name": ..., "program": ...} when Content-Type is application/json —
+// and answers with a Verdict.
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	name := ""
+	text := string(body)
+	if ct := r.Header.Get("Content-Type"); ct == "application/json" || ct == "application/json; charset=utf-8" {
+		var req classifyRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+			return
+		}
+		name, text = req.Name, req.Program
+	}
+	prog, err := ir.Parse(text)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	vec, blocks, edges, err := s.det.Vectorize(prog)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.classify(w, r, name, vec, blocks, edges)
+}
+
+// handleVector accepts a raw feature vector, scales it with the
+// detector's fitted scaler, and answers with a Verdict (no CFG summary).
+func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req vectorRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	scaled, err := s.det.Scaler.Transform(req.Vector)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.classify(w, r, req.Name, scaled, 0, 0)
+}
+
+// classify submits a scaled vector to the batcher and writes the verdict
+// or the mapped admission/execution error.
+func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, vec []float64, blocks, edges int) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+	probs, err := s.batcher.Submit(ctx, vec)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			s.fail(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrDraining):
+			s.fail(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			// Client went away; status is moot but 499-style close.
+			s.fail(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, ErrBadInput):
+			s.fail(w, http.StatusBadRequest, err)
+		default:
+			s.fail(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	v := MakeVerdict(name, probs, blocks, edges)
+	s.metrics.Verdict(v.Class)
+	writeJSON(w, http.StatusOK, v)
+}
+
+// readBody reads a bounded request body, mapping oversize to 413.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", s.cfg.MaxBody))
+		} else {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteText(w, s.det.Extractor.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+// fail writes the JSON error envelope and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	if s.metrics != nil {
+		s.metrics.Errors.Add(1)
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,294 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/features"
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+)
+
+// testDetector builds a detector with an untrained network and an
+// identity scaler — the full serving path without training cost.
+func testDetector() *core.Detector {
+	min := make([]float64, features.NumFeatures)
+	max := make([]float64, features.NumFeatures)
+	for i := range max {
+		max[i] = 1
+	}
+	return &core.Detector{
+		Scaler:    &features.Scaler{Min: min, Max: max},
+		Net:       nn.PaperCNN(0),
+		Extractor: features.NewExtractor(64),
+	}
+}
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Detector == nil {
+		cfg.Detector = testDetector()
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, ts
+}
+
+const validProgram = "movi r0, 1\nmovi r1, 2\nadd r0, r1\nret\n"
+
+func postClassify(t *testing.T, ts *httptest.Server, contentType, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/classify", contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// TestServerClassifyText posts raw assembly and checks the verdict
+// matches the detector's offline answer field by field.
+func TestServerClassifyText(t *testing.T) {
+	det := testDetector()
+	s, ts := testServer(t, Config{Detector: det, Window: -1})
+	resp, body := postClassify(t, ts, "text/plain", validProgram)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var v Verdict
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("bad verdict JSON %q: %v", body, err)
+	}
+	prog, err := ir.Parse(validProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, probs, err := det.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Class != pred || v.Label != Label(pred) || v.Confidence != probs[pred] {
+		t.Fatalf("server verdict %+v diverges from offline classify (%d, %v)", v, pred, probs)
+	}
+	if v.Blocks <= 0 {
+		t.Fatalf("verdict missing CFG summary: %+v", v)
+	}
+	if len(v.Probs) != 2 || v.Probs[pred] != probs[pred] {
+		t.Fatalf("probs not faithful: %+v vs %v", v.Probs, probs)
+	}
+	_ = s
+}
+
+// TestServerClassifyJSON posts the JSON request form with a name.
+func TestServerClassifyJSON(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	reqBody, _ := json.Marshal(classifyRequest{Name: "sample-1", Program: validProgram})
+	resp, body := postClassify(t, ts, "application/json", string(reqBody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var v Verdict
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "sample-1" {
+		t.Fatalf("name not echoed: %+v", v)
+	}
+}
+
+// TestServerClassifyVector posts a raw feature vector.
+func TestServerClassifyVector(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	vec := make([]float64, features.NumFeatures)
+	for i := range vec {
+		vec[i] = 0.25
+	}
+	reqBody, _ := json.Marshal(vectorRequest{Name: "vec-1", Vector: vec})
+	resp, err := http.Post(ts.URL+"/v1/classify/vector", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var v Verdict
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Blocks != 0 || v.Edges != 0 {
+		t.Fatalf("vector verdict should omit CFG summary: %+v", v)
+	}
+	if len(v.Probs) != 2 {
+		t.Fatalf("bad probs: %+v", v)
+	}
+}
+
+// TestServerBadRequests maps malformed inputs to 4xx, never 5xx.
+func TestServerBadRequests(t *testing.T) {
+	_, ts := testServer(t, Config{MaxBody: 512})
+	cases := []struct {
+		name, ct, body string
+		want           int
+	}{
+		{"garbage asm", "text/plain", "not a program %%%", http.StatusBadRequest},
+		{"bad json", "application/json", "{nope", http.StatusBadRequest},
+		{"oversize", "text/plain", strings.Repeat("nop\n", 1024) + "ret\n", http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		resp, body := postClassify(t, ts, tc.ct, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d want %d (body %s)", tc.name, resp.StatusCode, tc.want, body)
+		}
+		var e errorBody
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not a JSON envelope: %q", tc.name, body)
+		}
+	}
+	// Wrong-dimension vector → 400.
+	reqBody, _ := json.Marshal(vectorRequest{Vector: []float64{1, 2, 3}})
+	resp, err := http.Post(ts.URL+"/v1/classify/vector", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("short vector: status %d want 400", resp.StatusCode)
+	}
+}
+
+// TestServerHealthAndMetrics covers the observability endpoints: healthz
+// always up, readyz flipping on drain, and /metrics carrying request,
+// verdict, batch, and cache series.
+func TestServerHealthAndMetrics(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	for _, ep := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + ep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", ep, resp.StatusCode)
+		}
+	}
+	// Serve the same program twice: the second hit must come from the
+	// feature cache and show up in the hit-rate series.
+	for i := 0; i < 2; i++ {
+		resp, body := postClassify(t, ts, "text/plain", validProgram)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("classify %d: status %d body %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"advmal_requests_total 2",
+		"advmal_verdicts_total",
+		"advmal_batch_size_bucket",
+		"advmal_queue_wait_seconds_count 2",
+		"advmal_inference_seconds_sum",
+		"advmal_feature_cache_hits_total 1",
+		"advmal_feature_cache_hit_rate 0.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, text)
+		}
+	}
+	// Drain: readyz flips to 503 and the batcher reports zero drops.
+	s.NotReady()
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after NotReady: status %d, want 503", resp.StatusCode)
+	}
+	if st := s.Drain(); st.Dropped != 0 || st.Accepted != 2 {
+		t.Fatalf("drain stats: %+v", st)
+	}
+}
+
+// TestServerQueueFull429 wedges the engine and checks overload maps to a
+// fast 429 with Retry-After.
+func TestServerQueueFull429(t *testing.T) {
+	eng := &blockEngine{release: make(chan struct{}), classes: 2}
+	s, ts := testServer(t, Config{
+		Workers: 1, BatchSize: 1, Window: -1, QueueDepth: 1,
+		NewEngine: func() BatchEngine { return eng },
+	})
+	// Wedge: one request in flight, one in queue.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/classify", "text/plain", strings.NewReader(validProgram))
+			if err == nil {
+				resp.Body.Close()
+			}
+			errs <- err
+		}()
+	}
+	waitFor(t, func() bool { return eng.entered.Load() == 1 && s.Metrics().Requests.Load() == 2 })
+	resp, body := postClassify(t, ts, "text/plain", validProgram)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	go func() { eng.release <- struct{}{}; eng.release <- struct{}{} }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServerRequestTimeout504 wedges the engine past the request budget.
+func TestServerRequestTimeout504(t *testing.T) {
+	eng := &blockEngine{release: make(chan struct{}), classes: 2}
+	_, ts := testServer(t, Config{
+		Workers: 1, BatchSize: 1, Window: -1, QueueDepth: 4,
+		RequestTimeout: 10 * time.Millisecond,
+		NewEngine:      func() BatchEngine { return eng },
+	})
+	resp, body := postClassify(t, ts, "text/plain", validProgram)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d want 504 (body %s)", resp.StatusCode, body)
+	}
+	eng.release <- struct{}{} // let the worker finish the abandoned batch
+}
+
+// TestServerDrainingRejects503 checks post-drain requests get 503.
+func TestServerDrainingRejects503(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	if st := s.Drain(); st.Dropped != 0 {
+		t.Fatalf("drain: %+v", st)
+	}
+	resp, body := postClassify(t, ts, "text/plain", validProgram)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d want 503 (body %s)", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// LatencySummary condenses a set of observed latencies into the
+// percentiles the load generator and the serve bench report.
+type LatencySummary struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Summarize computes the latency summary of samples (which it sorts in
+// place). A nil or empty slice yields a zero summary.
+func Summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	return LatencySummary{
+		Count: len(samples),
+		P50:   quantile(samples, 0.50),
+		P95:   quantile(samples, 0.95),
+		P99:   quantile(samples, 0.99),
+		Max:   samples[len(samples)-1],
+		Mean:  sum / time.Duration(len(samples)),
+	}
+}
+
+// quantile returns the q-quantile of sorted samples using the
+// nearest-rank method (q in [0, 1]).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// String renders the summary for log lines.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}

@@ -1,0 +1,85 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke of the online detection service.
+#
+# Builds serve/loadgen/classify, trains a tiny detector, starts the
+# server on an ephemeral port, and asserts two things:
+#
+#   1. a fixed budget of loadgen requests all answer 200;
+#   2. SIGTERM in the middle of a live load drains cleanly — the server
+#      exits 0 and its drain accounting reports dropped=0.
+#
+# Run from the repo root (the Makefile serve-smoke target does).
+set -eu
+
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+	[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+go build -o "$TMP" ./cmd/serve ./cmd/loadgen ./cmd/classify
+
+echo "serve-smoke: training a tiny detector"
+"$TMP/classify" -train -model "$TMP/det.gob" -benign 20 -malware 60 -epochs 15 >/dev/null
+
+echo "serve-smoke: starting server on an ephemeral port"
+"$TMP/serve" -model "$TMP/det.gob" -addr 127.0.0.1:0 \
+	>"$TMP/serve.out" 2>"$TMP/serve.err" &
+SERVE_PID=$!
+
+# The server prints its resolved address once the listener is up.
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^serve: listening on \([^ ]*\).*/\1/p' "$TMP/serve.out")
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		cat "$TMP/serve.err" >&2
+		echo "serve-smoke: FAIL — server died during startup" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "serve-smoke: FAIL — server never reported its address" >&2
+	exit 1
+fi
+echo "serve-smoke: server up at $ADDR"
+
+# Phase 1: every request must answer 200. loadgen exits non-zero on any
+# transport error or non-200 status, so its exit code is the assertion.
+"$TMP/loadgen" -addr "http://$ADDR" -requests 200 -conc 8 -programs 16
+
+# Phase 2: SIGTERM mid-load. Background clients keep traffic flowing
+# while the server drains; their post-drain connection failures are
+# expected (-tolerate-errors) — the server's own accounting is the
+# assertion.
+"$TMP/loadgen" -addr "http://$ADDR" -duration 2s -conc 8 -tolerate-errors \
+	>/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 0.5
+echo "serve-smoke: sending SIGTERM mid-load"
+kill -TERM "$SERVE_PID"
+set +e
+wait "$SERVE_PID"
+STATUS=$?
+set -e
+SERVE_PID=""
+wait "$LOAD_PID" 2>/dev/null || true
+
+if [ "$STATUS" -ne 0 ]; then
+	cat "$TMP/serve.err" >&2
+	echo "serve-smoke: FAIL — server exited $STATUS after SIGTERM" >&2
+	exit 1
+fi
+if ! grep -q 'dropped=0' "$TMP/serve.err"; then
+	cat "$TMP/serve.err" >&2
+	echo "serve-smoke: FAIL — drain accounting does not report dropped=0" >&2
+	exit 1
+fi
+grep 'drained' "$TMP/serve.err"
+echo "serve-smoke: PASS"
