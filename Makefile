@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short
 
 build:
 	$(GO) build ./...
@@ -89,4 +89,33 @@ bench-serve:
 bench-serve-short:
 	$(GO) run ./cmd/bench -suite serve -short -o /tmp/BENCH_serve.short.json
 
-check: build race race-fused race-nn race-serve serve-smoke bench-short bench-nn-short bench-serve-short
+# The gateway's resilience tiers under the race detector: the ring
+# properties, the breaker state machine on a fake clock, the rate
+# limiter, and the chaos-driven end-to-end tests (retry failover,
+# kill-mid-load, hedging, eject/readmit) plus the replica-side chaos
+# surface and the /readyz drain-ordering regression.
+race-gateway:
+	$(GO) test -race -timeout 600s ./internal/gateway/
+	$(GO) test -race -timeout 600s -run 'Readyz|Chaos' ./internal/serve/
+
+# End-to-end smoke of the cluster: 3 chaos-armed replicas + gateway on
+# ephemeral ports; assert all-200 through the gateway, zero client 5xx
+# while one replica is chaos-killed mid-load, the ejection lands in
+# gateway /metrics, and SIGTERM drains everything with dropped=0
+# (DESIGN.md §10).
+gateway-smoke:
+	sh scripts/gateway_smoke.sh
+
+# Refresh the committed cluster-scaling snapshot: real replicas + gateway
+# + loadgen in child processes, replica capacity pinned by a simulated
+# service time, recording N-replicas-vs-1 throughput. See EXPERIMENTS.md
+# §Benchmark snapshots.
+bench-gateway:
+	$(GO) run ./cmd/bench -suite gateway -o BENCH_gateway.json
+
+# Smoke-run the gateway suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-gateway.
+bench-gateway-short:
+	$(GO) run ./cmd/bench -suite gateway -short -o /tmp/BENCH_gateway.short.json
+
+check: build race race-fused race-nn race-serve race-gateway serve-smoke gateway-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short

@@ -19,10 +19,15 @@
 //	  mutex-serialized allocating oracle), plus a closed-loop latency
 //	  pass against the window + inference-budget SLO. Snapshot:
 //	  BENCH_serve.json.
+//	gateway — cluster throughput scaling: real serve replicas plus the
+//	  consistent-hash gateway in child processes, driven by the real
+//	  cmd/loadgen, with replica capacity pinned by a simulated service
+//	  time so the N-replicas-vs-1 speedup is meaningful on any host.
+//	  Snapshot: BENCH_gateway.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite extract|nn|serve] [-short] [-o FILE]
+//	go run ./cmd/bench [-suite extract|nn|serve|gateway] [-short] [-o FILE]
 //
 // -short trims sizes and skips the trained-detector benches; the
 // Makefile `check` target runs both suites as smoke tests, while `make
@@ -147,8 +152,10 @@ func main() {
 		nnSuite(h, *short)
 	case "serve":
 		serveSuite(h, *short)
+	case "gateway":
+		gatewaySuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract, nn, or serve)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, or gateway)", *suite))
 	}
 
 	finish(h, *out)

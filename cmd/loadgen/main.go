@@ -1,18 +1,29 @@
-// Command loadgen is the closed-loop load generator for cmd/serve: it
-// replays synthetic corpus programs against the classify endpoint at a
-// target RPS (or flat out) and reports achieved throughput plus
-// p50/p95/p99 latency.
+// Command loadgen is the closed-loop load generator for cmd/serve and
+// cmd/gateway: it replays synthetic corpus programs against one or more
+// classify endpoints at a target RPS (or flat out) and reports achieved
+// throughput plus p50/p95/p99 latency, broken down per target.
 //
 // Usage:
 //
 //	loadgen -addr http://127.0.0.1:8377 -conc 8 -duration 10s -rps 500
-//	loadgen -addr http://127.0.0.1:8377 -requests 100 -json
+//	loadgen -targets http://127.0.0.1:8377,http://127.0.0.1:8380 -requests 100 -json
+//	loadgen -addr http://GW -duration 6s -chaos "at=2s,url=http://REPLICA,mode=kill"
+//
+// -targets spreads requests round-robin over several endpoints (direct
+// replica baselines); -addr remains the single-endpoint form. -chaos
+// drives replica fault injection mid-run: a semicolon-separated list of
+// events, each `at=DUR,mode=MODE[,target=IDX|url=URL][,delay=DUR][,every=N]`,
+// POSTed to the victim's /chaosz (the replica must run with -chaos).
+// Modes: kill (crash the replica), slow (handler delay), infer
+// (serialized engine delay), blackhole, error (every Nth request 500s),
+// clear.
 //
 // Exit status is non-zero when any request failed (transport error or
 // non-200), unless -tolerate-errors is set — overload runs expect 429s.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +46,17 @@ func main() {
 	}
 }
 
+// targetReport is one endpoint's share of the run.
+type targetReport struct {
+	URL         string               `json:"url"`
+	Requests    int                  `json:"requests"`
+	OK          int                  `json:"ok"`
+	Errors      int                  `json:"errors"`
+	ByStatus    map[string]int       `json:"by_status"`
+	AchievedRPS float64              `json:"achieved_rps"`
+	Latency     serve.LatencySummary `json:"latency"`
+}
+
 // report is the machine-readable run summary (-json).
 type report struct {
 	Requests    int                  `json:"requests"`
@@ -44,11 +66,14 @@ type report struct {
 	DurationSec float64              `json:"duration_sec"`
 	AchievedRPS float64              `json:"achieved_rps"`
 	Latency     serve.LatencySummary `json:"latency"`
+	Targets     []targetReport       `json:"targets,omitempty"`
+	ChaosEvents []string             `json:"chaos_events,omitempty"`
 }
 
 func run() error {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8377", "server base URL")
+		addr     = flag.String("addr", "http://127.0.0.1:8377", "server base URL (single-target form)")
+		targets  = flag.String("targets", "", "comma-separated base URLs; requests round-robin across them (overrides -addr)")
 		rps      = flag.Float64("rps", 0, "target request rate (0 = closed loop, as fast as the server answers)")
 		conc     = flag.Int("conc", 8, "concurrent client connections")
 		duration = flag.Duration("duration", 10*time.Second, "run length (ignored when -requests > 0)")
@@ -58,14 +83,31 @@ func run() error {
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		tolerate = flag.Bool("tolerate-errors", false, "exit 0 even when requests failed (overload runs)")
+		chaos    = flag.String("chaos", "", "fault schedule: 'at=DUR,mode=MODE[,target=IDX|url=URL][,delay=DUR][,every=N];...'")
 	)
 	flag.Parse()
+
+	urls := []string{strings.TrimRight(*addr, "/")}
+	if *targets != "" {
+		urls = urls[:0]
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				urls = append(urls, strings.TrimRight(t, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			return fmt.Errorf("-targets is empty")
+		}
+	}
+	events, err := parseChaos(*chaos, urls)
+	if err != nil {
+		return err
+	}
 
 	bodies, err := corpus(*programs, *seed)
 	if err != nil {
 		return err
 	}
-	url := strings.TrimRight(*addr, "/") + "/v1/classify"
 	client := &http.Client{Timeout: *timeout}
 
 	// Pacing: a paced run feeds tokens at the target rate into a small
@@ -92,27 +134,37 @@ func run() error {
 		}()
 	}
 
-	var (
-		next     atomic.Int64 // round-robin program index and request budget
-		mu       sync.Mutex
+	// Per-target accounting, folded into the global report at the end.
+	type bucket struct {
 		lats     []time.Duration
-		byStatus = map[string]int{}
-		okCount  int
-		errCount int
+		byStatus map[string]int
+		ok, errs int
+	}
+	var (
+		next    atomic.Int64 // round-robin program index and request budget
+		mu      sync.Mutex
+		buckets = make([]bucket, len(urls))
 	)
-	deadline := time.Now().Add(*duration)
-	record := func(lat time.Duration, status string, ok bool) {
+	for i := range buckets {
+		buckets[i].byStatus = map[string]int{}
+	}
+	record := func(target int, lat time.Duration, status string, ok bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		lats = append(lats, lat)
-		byStatus[status]++
+		b := &buckets[target]
+		b.lats = append(b.lats, lat)
+		b.byStatus[status]++
 		if ok {
-			okCount++
+			b.ok++
 		} else {
-			errCount++
+			b.errs++
 		}
 	}
 
+	// Chaos events fire on their own clock, concurrent with the load.
+	fired := launchChaos(events, client)
+
+	deadline := time.Now().Add(*duration)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *conc; c++ {
@@ -130,17 +182,18 @@ func run() error {
 				if tokens != nil {
 					<-tokens
 				}
+				target := int(n-1) % len(urls)
 				body := bodies[int(n-1)%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(url, "text/plain", strings.NewReader(body))
+				resp, err := client.Post(urls[target]+"/v1/classify", "text/plain", strings.NewReader(body))
 				lat := time.Since(t0)
 				if err != nil {
-					record(lat, "transport_error", false)
+					record(target, lat, "transport_error", false)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				record(lat, fmt.Sprintf("%d", resp.StatusCode), resp.StatusCode == http.StatusOK)
+				record(target, lat, fmt.Sprintf("%d", resp.StatusCode), resp.StatusCode == http.StatusOK)
 			}
 		}()
 	}
@@ -149,14 +202,37 @@ func run() error {
 	elapsed := time.Since(start)
 
 	rep := report{
-		Requests:    okCount + errCount,
-		OK:          okCount,
-		Errors:      errCount,
-		ByStatus:    byStatus,
+		ByStatus:    map[string]int{},
 		DurationSec: elapsed.Seconds(),
-		AchievedRPS: float64(okCount+errCount) / elapsed.Seconds(),
-		Latency:     serve.Summarize(lats),
+		ChaosEvents: fired(),
 	}
+	var allLats []time.Duration
+	for i, u := range urls {
+		b := &buckets[i]
+		tr := targetReport{
+			URL:         u,
+			Requests:    b.ok + b.errs,
+			OK:          b.ok,
+			Errors:      b.errs,
+			ByStatus:    b.byStatus,
+			AchievedRPS: float64(b.ok+b.errs) / elapsed.Seconds(),
+			Latency:     serve.Summarize(b.lats),
+		}
+		rep.Targets = append(rep.Targets, tr)
+		rep.OK += b.ok
+		rep.Errors += b.errs
+		for k, v := range b.byStatus {
+			rep.ByStatus[k] += v
+		}
+		allLats = append(allLats, b.lats...)
+	}
+	rep.Requests = rep.OK + rep.Errors
+	rep.AchievedRPS = float64(rep.Requests) / elapsed.Seconds()
+	rep.Latency = serve.Summarize(allLats)
+	if len(urls) == 1 {
+		rep.Targets = nil // single-target runs keep the old report shape
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -168,6 +244,13 @@ func run() error {
 			rep.Requests, rep.DurationSec, rep.AchievedRPS)
 		fmt.Printf("loadgen: ok=%d errors=%d by-status=%v\n", rep.OK, rep.Errors, rep.ByStatus)
 		fmt.Printf("loadgen: latency %s\n", rep.Latency)
+		for _, tr := range rep.Targets {
+			fmt.Printf("loadgen:   %s — %.1f req/s ok=%d errors=%d %s\n",
+				tr.URL, tr.AchievedRPS, tr.OK, tr.Errors, tr.Latency)
+		}
+		for _, ev := range rep.ChaosEvents {
+			fmt.Printf("loadgen: chaos %s\n", ev)
+		}
 	}
 	if rep.Errors > 0 && !*tolerate {
 		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
@@ -176,6 +259,142 @@ func run() error {
 		return fmt.Errorf("no requests issued")
 	}
 	return nil
+}
+
+// chaosEvent is one scheduled fault.
+type chaosEvent struct {
+	at   time.Duration
+	url  string // victim base URL
+	mode string
+	body []byte // /chaosz payload
+}
+
+// parseChaos parses the -chaos schedule. Victims are named by url= or by
+// target= (an index into the -targets list).
+func parseChaos(spec string, urls []string) ([]chaosEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var events []chaosEvent
+	for _, raw := range strings.Split(spec, ";") {
+		if raw = strings.TrimSpace(raw); raw == "" {
+			continue
+		}
+		ev := chaosEvent{url: urls[0]}
+		delay := 50 * time.Millisecond
+		every := 2
+		for _, kv := range strings.Split(raw, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: bad field %q in %q", kv, raw)
+			}
+			switch k {
+			case "at":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: at: %w", err)
+				}
+				ev.at = d
+			case "mode":
+				ev.mode = v
+			case "target":
+				var idx int
+				if _, err := fmt.Sscanf(v, "%d", &idx); err != nil || idx < 0 || idx >= len(urls) {
+					return nil, fmt.Errorf("chaos: target %q out of range [0,%d)", v, len(urls))
+				}
+				ev.url = urls[idx]
+			case "url":
+				ev.url = strings.TrimRight(v, "/")
+			case "delay":
+				d, err := time.ParseDuration(v)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: delay: %w", err)
+				}
+				delay = d
+			case "every":
+				if _, err := fmt.Sscanf(v, "%d", &every); err != nil {
+					return nil, fmt.Errorf("chaos: every: %w", err)
+				}
+			default:
+				return nil, fmt.Errorf("chaos: unknown field %q in %q", k, raw)
+			}
+		}
+		ms := int(delay / time.Millisecond)
+		tru := true
+		var req struct {
+			Clear      bool  `json:"clear,omitempty"`
+			SlowMs     *int  `json:"slow_ms,omitempty"`
+			InferMs    *int  `json:"infer_ms,omitempty"`
+			ErrorEvery *int  `json:"error_every,omitempty"`
+			Blackhole  *bool `json:"blackhole,omitempty"`
+			Die        bool  `json:"die,omitempty"`
+		}
+		switch ev.mode {
+		case "kill":
+			req.Die = true
+		case "slow":
+			req.SlowMs = &ms
+		case "infer":
+			req.InferMs = &ms
+		case "blackhole":
+			req.Blackhole = &tru
+		case "error":
+			req.ErrorEvery = &every
+		case "clear":
+			req.Clear = true
+		default:
+			return nil, fmt.Errorf("chaos: unknown mode %q (want kill, slow, infer, blackhole, error, clear)", ev.mode)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		ev.body = body
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// launchChaos schedules the events and returns a function that, called
+// after the load finishes, reports what fired.
+func launchChaos(events []chaosEvent, client *http.Client) func() []string {
+	if len(events) == 0 {
+		return func() []string { return nil }
+	}
+	var (
+		mu    sync.Mutex
+		fired []string
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for _, ev := range events {
+		wg.Add(1)
+		go func(ev chaosEvent) {
+			defer wg.Done()
+			time.Sleep(time.Until(start.Add(ev.at)))
+			resp, err := client.Post(ev.url+"/chaosz", "application/json", bytes.NewReader(ev.body))
+			status := "ok"
+			if err != nil {
+				// A kill victim may die before the response flushes.
+				status = "send-failed: " + err.Error()
+			} else {
+				if resp.StatusCode != http.StatusOK {
+					status = fmt.Sprintf("status %d", resp.StatusCode)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			mu.Lock()
+			fired = append(fired, fmt.Sprintf("%s %s at %v: %s", ev.mode, ev.url, ev.at, status))
+			mu.Unlock()
+		}(ev)
+	}
+	return func() []string {
+		wg.Wait()
+		mu.Lock()
+		defer mu.Unlock()
+		return fired
+	}
 }
 
 // corpus renders n synthetic programs (half benign, half malware) to

@@ -49,6 +49,7 @@ func run() error {
 		workers = flag.Int("workers", 0, "batcher workers (0 = GOMAXPROCS)")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request budget in queue + inference")
 		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
+		chaos   = flag.Bool("chaos", false, "arm the fault-injection surface (/chaosz) — test harnesses only")
 	)
 	flag.Parse()
 
@@ -66,22 +67,30 @@ func run() error {
 	if w == 0 {
 		w = -1 // Config: negative = greedy flush, zero = default
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Detector:       det,
 		BatchSize:      *batch,
 		Window:         w,
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
-	})
+	}
+	if *chaos {
+		cfg.Chaos = &serve.Chaos{Exit: os.Exit}
+		fmt.Fprintln(os.Stderr, "serve: chaos surface armed (/chaosz)")
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
 
-	ln, err := net.Listen("tcp", *addr)
+	ln, err := listenRetry(*addr)
 	if err != nil {
 		return err
 	}
+	// The resolved address line doubles as the discovery protocol: smoke
+	// scripts and the gateway harness scrape it instead of sleeping, so
+	// :0 ephemeral ports work without races.
 	fmt.Printf("serve: listening on %s (batch=%d window=%v queue=%d)\n",
 		ln.Addr(), *batch, *window, *queue)
 
@@ -115,4 +124,26 @@ func run() error {
 		return fmt.Errorf("drain dropped %d in-flight requests", st.Dropped)
 	}
 	return nil
+}
+
+// listenRetry binds addr, retrying transient EADDRINUSE with doubling
+// backoff — the window where a bounced replica's old socket lingers in
+// TIME_WAIT, or a supervisor restarts it faster than the kernel reaps
+// the port. Other bind errors fail immediately.
+func listenRetry(addr string) (net.Listener, error) {
+	const attempts = 5
+	backoff := 100 * time.Millisecond
+	for i := 1; ; i++ {
+		ln, err := net.Listen("tcp", addr)
+		if err == nil {
+			return ln, nil
+		}
+		if !errors.Is(err, syscall.EADDRINUSE) || i == attempts {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "serve: bind %s busy (attempt %d/%d), retrying in %v\n",
+			addr, i, attempts, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }

@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+// Breaker states.
+const (
+	// BreakerClosed passes traffic and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until Cooldown has elapsed.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe per Cooldown window; a success
+	// closes the breaker, a failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures a Breaker. Zero values select the defaults
+// noted on each field.
+type BreakerConfig struct {
+	// FailThreshold is the consecutive-failure count that trips a closed
+	// breaker open. Default 5.
+	FailThreshold int
+	// Cooldown is how long an open breaker rejects before admitting a
+	// half-open probe, and the minimum spacing between half-open probes.
+	// Default 2s.
+	Cooldown time.Duration
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+}
+
+// Breaker is a per-backend circuit breaker: closed until FailThreshold
+// consecutive failures, then open for Cooldown, then half-open — one
+// probe per Cooldown window — until a success closes it again. Every
+// transition to open (the initial trip and each half-open re-trip)
+// increments the trip counter. Safe for concurrent use; the clock is
+// injectable so the state machine is testable without sleeping.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // time.Now unless a test injects a fake clock
+
+	mu        sync.Mutex
+	state     BreakerState
+	fails     int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last tripped
+	lastProbe time.Time // last half-open probe admission
+	trips     uint64
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg, now: time.Now}
+}
+
+// Allow reports whether a request may be sent through the breaker,
+// advancing open → half-open once Cooldown has elapsed. In half-open it
+// admits at most one probe per Cooldown window, so a burst arriving at
+// a recovering backend cannot stampede it.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cfg.Cooldown {
+			b.state = BreakerHalfOpen
+			b.lastProbe = now
+			return true
+		}
+		return false
+	default: // half-open
+		if now.Sub(b.lastProbe) >= b.cfg.Cooldown {
+			b.lastProbe = now
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a successful request: any state closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+}
+
+// Failure records a failed request and returns whether this failure
+// tripped the breaker open (callers count trips off the return value so
+// the metric increments exactly once per transition).
+func (b *Breaker) Failure() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.trip()
+			return true
+		}
+	case BreakerHalfOpen:
+		// The probe failed: straight back to open for another cooldown.
+		b.trip()
+		return true
+	case BreakerOpen:
+		// A straggler attempt launched before the trip; the breaker is
+		// already open, don't extend the cooldown.
+	}
+	return false
+}
+
+// trip moves to open. Callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.trips++
+}
+
+// State returns the breaker's current position without advancing it.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has transitioned to open.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

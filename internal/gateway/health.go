@@ -1,0 +1,111 @@
+package gateway
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Backend is one serve replica behind the gateway: its identity on the
+// ring, its health-checker verdict, its circuit breaker, and its traffic
+// counters. Health and breaker are independent signals — health comes
+// from the /readyz poller (slow, authoritative about drain), the breaker
+// from live traffic (fast, authoritative about crashes) — and a backend
+// receives requests only when both pass.
+type Backend struct {
+	// ID is the ring identity (host:port). Stable across restarts so a
+	// bounced replica gets its old shard — and its warm cache keys — back.
+	ID string
+	// URL is the base URL requests are proxied to.
+	URL string
+	// Breaker is the backend's circuit breaker.
+	Breaker *Breaker
+
+	healthy atomic.Bool
+
+	Attempts   atomic.Uint64 // upstream attempts sent here
+	Failures   atomic.Uint64 // attempts that failed (transport or 5xx)
+	EjectCount atomic.Uint64 // health-check ejections
+
+	// health-loop bookkeeping; touched only by this backend's checker
+	// goroutine.
+	consecFail int
+	consecOK   int
+}
+
+// Healthy reports the health checker's current verdict.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// Available reports whether the backend should receive traffic right
+// now: health-checked ready and breaker admitting. Calling it may
+// advance the breaker open → half-open.
+func (b *Backend) Available() bool { return b.healthy.Load() && b.Breaker.Allow() }
+
+// healthLoop polls one backend's /readyz on a jittered interval,
+// ejecting it after EjectAfter consecutive failures and re-admitting it
+// after ReadmitAfter consecutive successes. Jitter (±20%) decorrelates
+// the pollers so N backends aren't probed in lockstep. Re-admission also
+// resets the breaker: the replica answered ready, so stale failure
+// history shouldn't hold its shard hostage.
+func (g *Gateway) healthLoop(b *Backend, seed int64) {
+	defer g.wg.Done()
+	rng := rand.New(rand.NewSource(seed))
+	for {
+		d := jitter(g.cfg.HealthInterval, rng)
+		select {
+		case <-g.done:
+			return
+		case <-time.After(d):
+		}
+		g.observeHealth(b, g.probeReady(b))
+	}
+}
+
+// probeReady asks one backend whether it is ready to serve.
+func (g *Gateway) probeReady(b *Backend) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// observeHealth folds one probe result into the backend's state.
+func (g *Gateway) observeHealth(b *Backend, ok bool) {
+	if ok {
+		b.consecFail = 0
+		b.consecOK++
+		if !b.healthy.Load() && b.consecOK >= g.cfg.ReadmitAfter {
+			b.healthy.Store(true)
+			b.Breaker.Success()
+			g.metrics.Readmissions.Add(1)
+		}
+		return
+	}
+	b.consecOK = 0
+	b.consecFail++
+	if b.healthy.Load() && b.consecFail >= g.cfg.EjectAfter {
+		b.healthy.Store(false)
+		b.EjectCount.Add(1)
+		g.metrics.Ejections.Add(1)
+	}
+}
+
+// jitter spreads d by ±20%. A nil rng uses the (locked) global source —
+// the concurrent proxy path needs decorrelation, not determinism.
+func jitter(d time.Duration, rng *rand.Rand) time.Duration {
+	f := rand.Float64()
+	if rng != nil {
+		f = rng.Float64()
+	}
+	return time.Duration(float64(d) * (0.8 + 0.4*f))
+}

@@ -1,0 +1,199 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// upstream is the outcome of proxying one client request: either a
+// response from some backend (any status — 4xx/5xx pass through) or a
+// terminal error after every attempt failed.
+type upstream struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend *Backend
+	err     error // non-nil when no backend produced a response
+	hedged  bool  // this response came from a hedge attempt
+}
+
+// forward proxies one request across the shard's candidate backends with
+// the full resilience ladder:
+//
+//   - the first attempt goes to the key's owner (cache affinity);
+//   - a failed attempt (transport error or 5xx — classify is a pure
+//     function, so replays are always safe) retries the next candidate
+//     after capped exponential backoff with jitter;
+//   - an attempt that outlives the hedge budget (p99-derived unless
+//     configured) triggers a parallel hedge to the next candidate, and
+//     the first usable response wins while the loser is canceled;
+//   - every outcome feeds the owning backend's breaker, except attempts
+//     canceled because a peer already won.
+//
+// The caller guarantees cands is non-empty.
+func (g *Gateway) forward(ctx context.Context, path, contentType string, body []byte, cands []*Backend) upstream {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels stragglers once a winner returns
+
+	results := make(chan upstream, len(cands))
+	launch := func(i int, hedged bool) {
+		g.metrics.Attempts.Add(1)
+		go g.attempt(fctx, cands[i], path, contentType, body, hedged, results)
+	}
+	launch(0, false)
+	launched, pending := 1, 1
+
+	var hedgeC <-chan time.Time
+	if delay := g.hedgeDelay(); delay > 0 && len(cands) > 1 {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+
+	backoff := g.cfg.RetryBackoff
+	var last upstream
+	for pending > 0 {
+		select {
+		case r := <-results:
+			pending--
+			if r.err == nil && r.status < http.StatusInternalServerError {
+				if r.hedged {
+					g.metrics.HedgeWins.Add(1)
+				}
+				return r
+			}
+			last = r
+			if ctx.Err() != nil {
+				return upstream{err: ctx.Err()}
+			}
+			if launched < len(cands) {
+				if !sleepCtx(fctx, jitter(backoff, nil)) {
+					return upstream{err: fctx.Err()}
+				}
+				if backoff *= 2; backoff > g.cfg.RetryBackoffMax {
+					backoff = g.cfg.RetryBackoffMax
+				}
+				g.metrics.Retries.Add(1)
+				launch(launched, false)
+				launched++
+				pending++
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				g.metrics.Hedges.Add(1)
+				launch(launched, true)
+				launched++
+				pending++
+			}
+		case <-ctx.Done():
+			return upstream{err: ctx.Err()}
+		}
+	}
+	return last
+}
+
+// attempt sends one upstream request and reports into results (buffered:
+// a send never blocks, so attempts whose waiter already returned exit
+// cleanly). Breaker and latency accounting happen here — skipped when
+// the shared context was canceled, so a hedge loser is not a "failure".
+func (g *Gateway) attempt(ctx context.Context, b *Backend, path, contentType string, body []byte, hedged bool, results chan<- upstream) {
+	b.Attempts.Add(1)
+	actx, cancel := context.WithTimeout(ctx, g.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.URL+path, bytes.NewReader(body))
+	if err != nil {
+		results <- upstream{backend: b, err: err, hedged: hedged}
+		return
+	}
+	req.Header.Set("Content-Type", contentType)
+	start := time.Now()
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			// A real failure (refused, reset, attempt timeout) — not a
+			// cancellation because some peer already won.
+			g.recordFailure(b)
+		}
+		results <- upstream{backend: b, err: err, hedged: hedged}
+		return
+	}
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, g.cfg.MaxBody+1))
+	resp.Body.Close()
+	if err != nil {
+		if ctx.Err() == nil {
+			g.recordFailure(b)
+		}
+		results <- upstream{backend: b, err: err, hedged: hedged}
+		return
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		g.recordFailure(b)
+	} else {
+		b.Breaker.Success()
+		g.metrics.BackendLat.ObserveDuration(time.Since(start))
+	}
+	results <- upstream{
+		status:  resp.StatusCode,
+		header:  resp.Header,
+		body:    respBody,
+		backend: b,
+		hedged:  hedged,
+	}
+}
+
+// recordFailure feeds one failed attempt into the backend's breaker and
+// counters, counting the trip if this failure opened it.
+func (g *Gateway) recordFailure(b *Backend) {
+	b.Failures.Add(1)
+	if b.Breaker.Failure() {
+		g.metrics.BreakerTrips.Add(1)
+	}
+}
+
+// hedgeDelay returns the current hedge budget: the configured value, or
+// the observed upstream p99 (clamped to [HedgeMin, HedgeMax]) once
+// enough samples exist. Zero disables hedging for this request.
+func (g *Gateway) hedgeDelay() time.Duration {
+	if g.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	if g.cfg.HedgeAfter > 0 {
+		return g.cfg.HedgeAfter
+	}
+	h := g.metrics.BackendLat
+	if h.Count() < hedgeMinSamples {
+		return 0
+	}
+	d := time.Duration(h.Quantile(0.99) * float64(time.Second))
+	if d < g.cfg.HedgeMin {
+		d = g.cfg.HedgeMin
+	}
+	if d > g.cfg.HedgeMax {
+		d = g.cfg.HedgeMax
+	}
+	return d
+}
+
+// hedgeMinSamples is how many latency observations the auto budget needs
+// before its p99 estimate is trusted.
+const hedgeMinSamples = 64
+
+// sleepCtx sleeps for d or until ctx is done, reporting whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

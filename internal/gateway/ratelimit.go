@@ -1,0 +1,109 @@
+package gateway
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// RateLimiterConfig configures a per-client token-bucket limiter.
+type RateLimiterConfig struct {
+	// Rate is the steady-state tokens/second granted to each client.
+	Rate float64
+	// Burst is each bucket's capacity. Defaults to max(Rate, 1).
+	Burst float64
+	// MaxClients bounds the bucket map so an adversary rotating client
+	// addresses cannot grow it without bound. Default 4096.
+	MaxClients int
+}
+
+// RateLimiter is a lazily-refilled token bucket per client key. A
+// request costs one token; an empty bucket rejects with the time until
+// the next token, which the gateway surfaces as Retry-After. Buckets
+// refill on access (no background goroutine), and fully-refilled idle
+// buckets are evicted when the map hits MaxClients.
+type RateLimiter struct {
+	cfg RateLimiterConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter returns a limiter, or nil when cfg.Rate <= 0 (rate
+// limiting disabled; a nil *RateLimiter allows everything).
+func NewRateLimiter(cfg RateLimiterConfig) *RateLimiter {
+	if cfg.Rate <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = math.Max(cfg.Rate, 1)
+	}
+	if cfg.MaxClients <= 0 {
+		cfg.MaxClients = 4096
+	}
+	return &RateLimiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token from client's bucket. When the bucket is empty
+// it returns false and how long until a token accrues.
+func (l *RateLimiter) Allow(client string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.buckets[client]
+	if b == nil {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			l.evict(now)
+		}
+		b = &bucket{tokens: l.cfg.Burst, last: now}
+		l.buckets[client] = b
+	} else {
+		dt := now.Sub(b.last).Seconds()
+		if dt > 0 {
+			b.tokens = math.Min(l.cfg.Burst, b.tokens+dt*l.cfg.Rate)
+			b.last = now
+		}
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.cfg.Rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// evict drops buckets that would be fully refilled by now — clients
+// idle long enough that forgetting them loses nothing. If every bucket
+// is active, it drops an arbitrary one to stay bounded. Callers hold
+// l.mu.
+func (l *RateLimiter) evict(now time.Time) {
+	full := now.Add(-time.Duration(l.cfg.Burst / l.cfg.Rate * float64(time.Second)))
+	for k, b := range l.buckets {
+		if b.last.Before(full) {
+			delete(l.buckets, k)
+		}
+	}
+	if len(l.buckets) >= l.cfg.MaxClients {
+		for k := range l.buckets {
+			delete(l.buckets, k)
+			break
+		}
+	}
+}
+
+// Clients returns the number of tracked buckets (for tests/metrics).
+func (l *RateLimiter) Clients() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

@@ -1,0 +1,83 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// A fresh client gets Burst tokens, then rejections with a sensible
+// Retry-After, then refill at Rate.
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l := NewRateLimiter(RateLimiterConfig{Rate: 10, Burst: 3})
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c", now); !ok {
+			t.Fatalf("request %d within burst rejected", i+1)
+		}
+	}
+	ok, retry := l.Allow("c", now)
+	if ok {
+		t.Fatal("request past burst admitted")
+	}
+	// Bucket is exactly empty: next token in 1/Rate = 100ms.
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~100ms", retry)
+	}
+	// After 100ms one token has accrued.
+	if ok, _ := l.Allow("c", now.Add(100*time.Millisecond)); !ok {
+		t.Fatal("token accrued after 1/Rate not granted")
+	}
+	// Refill caps at Burst: a long idle spell doesn't bank extra tokens.
+	later := now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.Allow("c", later); !ok {
+			t.Fatalf("post-idle request %d rejected", i+1)
+		}
+	}
+	if ok, _ := l.Allow("c", later); ok {
+		t.Fatal("idle refill exceeded burst")
+	}
+}
+
+// Buckets are per client: one client exhausting its bucket does not
+// starve another.
+func TestRateLimiterPerClientIsolation(t *testing.T) {
+	l := NewRateLimiter(RateLimiterConfig{Rate: 1, Burst: 1})
+	now := time.Unix(1700000000, 0)
+	if ok, _ := l.Allow("a", now); !ok {
+		t.Fatal("client a's first request rejected")
+	}
+	if ok, _ := l.Allow("a", now); ok {
+		t.Fatal("client a's second request admitted")
+	}
+	if ok, _ := l.Allow("b", now); !ok {
+		t.Fatal("client b starved by client a")
+	}
+}
+
+// The bucket map stays bounded under client-address rotation.
+func TestRateLimiterBoundedClients(t *testing.T) {
+	l := NewRateLimiter(RateLimiterConfig{Rate: 1, Burst: 1, MaxClients: 8})
+	now := time.Unix(1700000000, 0)
+	for i := 0; i < 100; i++ {
+		l.Allow(fmt.Sprintf("client-%d", i), now.Add(time.Duration(i)*10*time.Second))
+	}
+	if n := l.Clients(); n > 8 {
+		t.Fatalf("tracked %d clients, want <= 8", n)
+	}
+}
+
+// Rate <= 0 disables limiting entirely via a nil limiter.
+func TestRateLimiterDisabled(t *testing.T) {
+	l := NewRateLimiter(RateLimiterConfig{Rate: 0})
+	if l != nil {
+		t.Fatal("Rate=0 should return nil")
+	}
+	if ok, _ := l.Allow("anyone", time.Now()); !ok {
+		t.Fatal("nil limiter should allow everything")
+	}
+	if l.Clients() != 0 {
+		t.Fatal("nil limiter tracks no clients")
+	}
+}

@@ -1,0 +1,190 @@
+package gateway
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("10.0.0.%d:8377", i+1)
+	}
+	return ids
+}
+
+func randomKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	return keys
+}
+
+// The ring is a pure function of the ID set: two rings built from the
+// same IDs agree on every placement (a gateway restart, or a second
+// gateway instance, preserves cache affinity).
+func TestRingDeterministic(t *testing.T) {
+	ids := ringIDs(5)
+	a, b := NewRing(ids, 128), NewRing(ids, 128)
+	for _, key := range randomKeys(2000, 1) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("rings disagree on key %d: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+// Property: load balance. Over many random keys, no node's share strays
+// far from the mean — 128 vnodes keeps the max/mean ratio under ~1.35
+// and min/mean above ~0.65 for small clusters.
+func TestRingBalance(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(ringIDs(n), 128)
+		counts := make([]int, n)
+		keys := randomKeys(20000, 42)
+		for _, key := range keys {
+			counts[r.Owner(key)]++
+		}
+		mean := float64(len(keys)) / float64(n)
+		for node, c := range counts {
+			ratio := float64(c) / mean
+			if ratio < 0.6 || ratio > 1.4 {
+				t.Errorf("n=%d node=%d share ratio %.2f outside [0.6, 1.4] (count=%d mean=%.0f)",
+					n, node, ratio, c, mean)
+			}
+		}
+	}
+}
+
+// Property: minimal movement on join. Adding one node to an N-node ring
+// moves roughly K/(N+1) of K keys — we allow 2x slack — and every moved
+// key moves TO the new node (no shuffling among survivors).
+func TestRingJoinMinimalMovement(t *testing.T) {
+	const n, k = 4, 20000
+	ids := ringIDs(n)
+	before := NewRing(ids, 128)
+	after := NewRing(append(append([]string{}, ids...), "10.0.0.99:8377"), 128)
+	newNode := n // appended last
+
+	keys := randomKeys(k, 7)
+	moved := 0
+	for _, key := range keys {
+		a, b := before.Owner(key), after.Owner(key)
+		if a == b {
+			continue
+		}
+		moved++
+		if b != newNode {
+			t.Fatalf("key %d moved %d→%d, not to the new node %d", key, a, b, newNode)
+		}
+	}
+	limit := 2 * k / (n + 1)
+	if moved > limit {
+		t.Errorf("join moved %d of %d keys, want <= %d (~K/(N+1) with 2x slack)", moved, k, limit)
+	}
+	if moved == 0 {
+		t.Error("join moved no keys; the new node owns nothing")
+	}
+}
+
+// Property: minimal movement on leave. Removing one node moves exactly
+// the keys it owned, and nothing else.
+func TestRingLeaveMinimalMovement(t *testing.T) {
+	const n, k = 5, 20000
+	ids := ringIDs(n)
+	before := NewRing(ids, 128)
+	gone := n - 1
+	after := NewRing(ids[:gone], 128)
+
+	for _, key := range randomKeys(k, 13) {
+		a, b := before.Owner(key), after.Owner(key)
+		if a == gone {
+			if b == gone {
+				t.Fatalf("key %d still owned by removed node", key)
+			}
+			continue // orphaned keys may land anywhere
+		}
+		if a != b {
+			t.Fatalf("key %d moved %d→%d though its owner %d survived", key, a, b, a)
+		}
+	}
+}
+
+// Filtering a node via the Successors accept predicate produces the same
+// placement as removing it from the ring: ejection-by-filter IS the
+// removal remap, so a bounced backend's keys come back untouched.
+func TestRingFilterEquivalentToRemoval(t *testing.T) {
+	const n = 5
+	ids := ringIDs(n)
+	full := NewRing(ids, 128)
+	down := 2
+	reduced := NewRing(append(append([]string{}, ids[:down]...), ids[down+1:]...), 128)
+	// reduced ring's node indices skip `down`; map back to full-ring indices.
+	toFull := func(node int) int {
+		if node >= down {
+			return node + 1
+		}
+		return node
+	}
+	for _, key := range randomKeys(5000, 99) {
+		got := full.Successors(key, 1, func(node int) bool { return node != down })
+		want := reduced.Successors(key, 1, nil)
+		if len(got) != 1 || len(want) != 1 || got[0] != toFull(want[0]) {
+			t.Fatalf("key %d: filtered owner %v != reduced-ring owner %v", key, got, want)
+		}
+	}
+}
+
+// Successors returns distinct nodes in clockwise order, first entry the
+// owner, and caps at the node count.
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(ringIDs(4), 64)
+	for _, key := range randomKeys(500, 3) {
+		succ := r.Successors(key, 10, nil)
+		if len(succ) != 4 {
+			t.Fatalf("want all 4 nodes, got %v", succ)
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("first successor %d != owner %d", succ[0], r.Owner(key))
+		}
+		seen := map[int]bool{}
+		for _, n := range succ {
+			if seen[n] {
+				t.Fatalf("duplicate node %d in %v", n, succ)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Successors(0, 0, nil); got != nil {
+		t.Errorf("max=0 should return nil, got %v", got)
+	}
+	if got := (&Ring{}).Successors(0, 3, nil); got != nil {
+		t.Errorf("empty ring should return nil, got %v", got)
+	}
+	if (&Ring{}).Owner(42) != -1 {
+		t.Error("empty ring Owner should be -1")
+	}
+}
+
+// An accept predicate rejecting everything yields no candidates (the
+// all-replicas-down shard).
+func TestRingSuccessorsAllRejected(t *testing.T) {
+	r := NewRing(ringIDs(3), 64)
+	if got := r.Successors(1, 3, func(int) bool { return false }); len(got) != 0 {
+		t.Errorf("want no survivors, got %v", got)
+	}
+}
+
+// KeyFromSum projects the leading 8 bytes big-endian — pinned so stored
+// routing expectations stay valid.
+func TestKeyFromSum(t *testing.T) {
+	sum := sha256.Sum256([]byte("probe"))
+	want := binary.BigEndian.Uint64(sum[:8])
+	if got := KeyFromSum(sum); got != want {
+		t.Fatalf("KeyFromSum = %d, want %d", got, want)
+	}
+}

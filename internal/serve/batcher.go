@@ -177,6 +177,16 @@ func (m *Metrics) reject(draining bool) {
 	}
 }
 
+// Draining reports whether Close has begun. The server's /readyz
+// consults it so a batcher closed directly — not via the NotReady →
+// Shutdown → Drain sequence — still flips readiness before any request
+// can be refused with ErrDraining.
+func (b *Batcher) Draining() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.drain
+}
+
 // Close stops admission, waits for every queued request to be executed
 // and answered, and then returns. Safe to call more than once.
 func (b *Batcher) Close() {

@@ -85,6 +85,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return 0
 }
 
+// WritePrometheus emits the histogram in Prometheus text exposition
+// format under the given metric name. Shared with the gateway's metrics
+// registry.
+func (h *Histogram) WritePrometheus(w io.Writer, name string) { h.write(w, name) }
+
 // write emits the histogram in Prometheus text exposition format.
 func (h *Histogram) write(w io.Writer, name string) {
 	var cum uint64

@@ -37,6 +37,11 @@ type Config struct {
 	// NewEngine overrides the per-worker inference engine; nil borrows
 	// detector workspaces. Tests use it to inject fakes.
 	NewEngine func() BatchEngine
+	// Chaos, when non-nil, arms the fault-injection surface: the
+	// /chaosz control endpoint, handler-level slow/error/blackhole
+	// faults, and the serialized engine inference delay. Production
+	// deployments leave it nil.
+	Chaos *Chaos
 }
 
 // Server is the detection service: HTTP handlers over a Batcher over a
@@ -84,6 +89,11 @@ func New(cfg Config) (*Server, error) {
 		det := cfg.Detector
 		newEngine = func() BatchEngine { return det.AcquireWS() }
 	}
+	if cfg.Chaos != nil {
+		inner := newEngine
+		chaos := cfg.Chaos
+		newEngine = func() BatchEngine { return chaosEngine{inner: inner(), c: chaos} }
+	}
 	s.batcher = NewBatcher(BatcherConfig{
 		Workers:    cfg.Workers,
 		BatchSize:  cfg.BatchSize,
@@ -99,6 +109,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.Chaos != nil {
+		s.mux.HandleFunc("/chaosz", s.handleChaos)
+	}
 	s.ready.Store(true)
 	return s, nil
 }
@@ -150,6 +163,9 @@ type errorBody struct {
 // {"name": ..., "program": ...} when Content-Type is application/json —
 // and answers with a Verdict.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Chaos.intercept(w, r) {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -180,6 +196,9 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // handleVector accepts a raw feature vector, scales it with the
 // detector's fitted scaler, and answers with a Verdict (no CFG summary).
 func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Chaos.intercept(w, r) {
+		return
+	}
 	body, ok := s.readBody(w, r)
 	if !ok {
 		return
@@ -253,8 +272,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
+// handleReadyz reports routability. Both the explicit ready flag and the
+// batcher's own drain state gate the 200: NotReady flips the flag before
+// the listener stops, and checking Batcher.Draining() closes the other
+// ordering — a batcher drained directly can never answer ready while
+// Submit is already refusing with ErrDraining. Once /readyz has said
+// 503, it never says 200 again within a drain (the regression test pins
+// this ordering).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if !s.ready.Load() {
+	if !s.ready.Load() || s.batcher.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
 		return

@@ -1,0 +1,156 @@
+#!/bin/sh
+# gateway_smoke.sh — end-to-end smoke of the fault-tolerant gateway.
+#
+# Builds serve/gateway/loadgen/classify, trains a tiny detector, boots
+# three chaos-armed replicas on ephemeral ports plus the gateway over
+# them, and asserts the resilience claims end to end:
+#
+#   1. a fixed budget of loadgen requests through the gateway all
+#      answer 200;
+#   2. kill -9 one replica mid-load: every client request still answers
+#      200 (the survivors absorb the dead replica's shards), and the
+#      gateway's /metrics records the health-check ejection;
+#   3. SIGTERM the gateway and the surviving replicas mid-load: each
+#      exits 0 and each replica's drain accounting reports dropped=0.
+#
+# Run from the repo root (the Makefile gateway-smoke target does).
+set -eu
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "gateway-smoke: building binaries"
+go build -o "$TMP" ./cmd/serve ./cmd/gateway ./cmd/loadgen ./cmd/classify
+
+echo "gateway-smoke: training a tiny detector"
+"$TMP/classify" -train -model "$TMP/det.gob" -benign 20 -malware 60 -epochs 15 >/dev/null
+
+# wait_addr LOGFILE PREFIX PID — scrape the resolved listen address.
+wait_addr() {
+	_addr=""
+	_i=0
+	while [ $_i -lt 100 ]; do
+		_addr=$(sed -n "s/^$2: listening on \\([^ ]*\\).*/\\1/p" "$1")
+		[ -n "$_addr" ] && break
+		if ! kill -0 "$3" 2>/dev/null; then
+			echo "gateway-smoke: FAIL — $2 died during startup" >&2
+			exit 1
+		fi
+		sleep 0.1
+		_i=$((_i + 1))
+	done
+	if [ -z "$_addr" ]; then
+		echo "gateway-smoke: FAIL — $2 never reported its address" >&2
+		exit 1
+	fi
+	echo "$_addr"
+}
+
+echo "gateway-smoke: starting 3 chaos-armed replicas"
+REPLICA_ADDRS=""
+REPLICA_PIDS=""
+for i in 1 2 3; do
+	"$TMP/serve" -model "$TMP/det.gob" -addr 127.0.0.1:0 -chaos \
+		>"$TMP/serve$i.out" 2>"$TMP/serve$i.err" &
+	pid=$!
+	PIDS="$PIDS $pid"
+	REPLICA_PIDS="$REPLICA_PIDS $pid"
+	addr=$(wait_addr "$TMP/serve$i.out" serve "$pid")
+	REPLICA_ADDRS="$REPLICA_ADDRS,$addr"
+	echo "gateway-smoke: replica $i up at $addr (pid $pid)"
+done
+REPLICA_ADDRS=${REPLICA_ADDRS#,}
+
+echo "gateway-smoke: starting gateway"
+"$TMP/gateway" -addr 127.0.0.1:0 -backends "$REPLICA_ADDRS" \
+	-health-interval 100ms \
+	>"$TMP/gateway.out" 2>"$TMP/gateway.err" &
+GW_PID=$!
+PIDS="$PIDS $GW_PID"
+GW=$(wait_addr "$TMP/gateway.out" gateway "$GW_PID")
+echo "gateway-smoke: gateway up at $GW"
+
+# Phase 1: clean cluster — every request answers 200. loadgen exits
+# non-zero on any transport error or non-200, so its exit code is the
+# assertion.
+echo "gateway-smoke: phase 1 — clean cluster"
+"$TMP/loadgen" -addr "http://$GW" -requests 300 -conc 8 -programs 16
+
+# Phase 2: kill one replica mid-load via the chaos surface (the replica
+# os.Exit(137)s itself — a crash, not a drain) and keep asserting zero
+# client-visible failures through the gateway.
+VICTIM=$(echo "$REPLICA_ADDRS" | cut -d, -f1)
+VICTIM_PID=$(echo "$REPLICA_PIDS" | awk '{print $1}')
+echo "gateway-smoke: phase 2 — killing replica $VICTIM mid-load"
+"$TMP/loadgen" -addr "http://$GW" -duration 4s -conc 8 -programs 16 \
+	-chaos "at=1s,url=http://$VICTIM,mode=kill" \
+	>"$TMP/phase2.out" 2>"$TMP/phase2.err"
+cat "$TMP/phase2.out"
+set +e
+wait "$VICTIM_PID" 2>/dev/null
+VICTIM_STATUS=$?
+set -e
+if [ "$VICTIM_STATUS" -ne 137 ]; then
+	echo "gateway-smoke: FAIL — victim exited $VICTIM_STATUS, want 137 (chaos kill)" >&2
+	exit 1
+fi
+REPLICA_PIDS=$(echo "$REPLICA_PIDS" | awk '{$1=""; print}')
+
+# The health checker must have ejected the dead replica by now.
+if ! curl -sf "http://$GW/metrics" | grep -q '^gateway_ejections_total [1-9]'; then
+	curl -s "http://$GW/metrics" | grep -E 'eject|healthy' >&2 || true
+	echo "gateway-smoke: FAIL — gateway never recorded the ejection" >&2
+	exit 1
+fi
+echo "gateway-smoke: ejection recorded; routable shards stayed 200"
+
+# Phase 3: graceful drain under load. SIGTERM gateway + survivors; each
+# must exit 0 and the replicas' accounting must report dropped=0.
+echo "gateway-smoke: phase 3 — SIGTERM mid-load"
+"$TMP/loadgen" -addr "http://$GW" -duration 2s -conc 8 -tolerate-errors \
+	>/dev/null 2>&1 &
+LOAD_PID=$!
+sleep 0.5
+kill -TERM "$GW_PID"
+set +e
+wait "$GW_PID"
+GW_STATUS=$?
+set -e
+if [ "$GW_STATUS" -ne 0 ]; then
+	cat "$TMP/gateway.err" >&2
+	echo "gateway-smoke: FAIL — gateway exited $GW_STATUS after SIGTERM" >&2
+	exit 1
+fi
+grep 'drained' "$TMP/gateway.err"
+
+for pid in $REPLICA_PIDS; do
+	kill -TERM "$pid" 2>/dev/null || true
+done
+for pid in $REPLICA_PIDS; do
+	set +e
+	wait "$pid"
+	STATUS=$?
+	set -e
+	if [ "$STATUS" -ne 0 ]; then
+		echo "gateway-smoke: FAIL — replica (pid $pid) exited $STATUS after SIGTERM" >&2
+		cat "$TMP"/serve*.err >&2
+		exit 1
+	fi
+done
+for i in 2 3; do
+	if ! grep -q 'dropped=0' "$TMP/serve$i.err"; then
+		cat "$TMP/serve$i.err" >&2
+		echo "gateway-smoke: FAIL — replica $i drain accounting does not report dropped=0" >&2
+		exit 1
+	fi
+done
+wait "$LOAD_PID" 2>/dev/null || true
+PIDS=""
+echo "gateway-smoke: PASS"
