@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short
 
 build:
 	$(GO) build ./...
@@ -118,4 +118,29 @@ bench-gateway:
 bench-gateway-short:
 	$(GO) run ./cmd/bench -suite gateway -short -o /tmp/BENCH_gateway.short.json
 
-check: build race race-fused race-nn race-serve race-gateway serve-smoke gateway-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short
+# The similarity layer under the race detector: the HNSW recall/
+# determinism/round-trip properties, the concurrent search-during-insert
+# test, and the serve-level similarity + triage surface (including the
+# GEA-splice acceptance test).
+race-index:
+	$(GO) test -race -timeout 600s ./internal/index/
+	$(GO) test -race -timeout 600s -run 'Similar|Triage|Verdict|NaN' ./internal/serve/
+
+# End-to-end smoke of the similarity layer: classify -train -index →
+# serve -index → /v1/similar family attribution + triage flagging on an
+# off-manifold program (DESIGN.md §11).
+index-smoke:
+	sh scripts/index_smoke.sh
+
+# Refresh the committed ANN perf snapshot: HNSW vs the exact-scan oracle
+# at 10k/100k/1M — recall@10, p50/p99 latency, and the p99 speedup the
+# serving claim rests on. See EXPERIMENTS.md §Benchmark snapshots.
+bench-index:
+	$(GO) run ./cmd/bench -suite index -o BENCH_index.json
+
+# Smoke-run the index suite at reduced sizes; scratch output so the
+# committed snapshot only changes via bench-index.
+bench-index-short:
+	$(GO) run ./cmd/bench -suite index -short -o /tmp/BENCH_index.short.json
+
+check: build race race-fused race-nn race-serve race-gateway race-index serve-smoke gateway-smoke index-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short

@@ -24,10 +24,14 @@
 //	  cmd/loadgen, with replica capacity pinned by a simulated service
 //	  time so the N-replicas-vs-1 speedup is meaningful on any host.
 //	  Snapshot: BENCH_gateway.json.
+//	index — the similarity layer: HNSW graph search vs the exact-scan
+//	  oracle at 10k/100k/1M entries, recording build wall-clock, mean
+//	  and p50/p99 search latency, and recall@10 against the oracle's
+//	  ground truth. Snapshot: BENCH_index.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite extract|nn|serve|gateway] [-short] [-o FILE]
+//	go run ./cmd/bench [-suite extract|nn|serve|gateway|index] [-short] [-o FILE]
 //
 // -short trims sizes and skips the trained-detector benches; the
 // Makefile `check` target runs both suites as smoke tests, while `make
@@ -154,8 +158,10 @@ func main() {
 		serveSuite(h, *short)
 	case "gateway":
 		gatewaySuite(h, *short)
+	case "index":
+		indexSuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, or gateway)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, or index)", *suite))
 	}
 
 	finish(h, *out)

@@ -25,6 +25,7 @@ import (
 	"syscall"
 
 	"advmal/internal/core"
+	"advmal/internal/index"
 	"advmal/internal/ir"
 	"advmal/internal/nn"
 	"advmal/internal/serve"
@@ -52,6 +53,7 @@ func run(ctx context.Context) error {
 		benign  = flag.Int("benign", 276, "benign corpus size (with -train)")
 		malware = flag.Int("malware", 2281, "malicious corpus size (with -train)")
 		asJSON  = flag.Bool("json", false, "emit one serve.Verdict JSON object per line")
+		idxPath = flag.String("index", "", "with -train: also build the similarity corpus index (HNSW over the labeled training split) and save it here")
 	)
 	flag.Parse()
 
@@ -86,6 +88,22 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Println("detector saved to", *model)
+		if *idxPath != "" {
+			corpus, err := sys.BuildCorpusIndex(index.HNSWConfig{}, 0)
+			if err != nil {
+				return err
+			}
+			fi, err := os.Create(*idxPath)
+			if err != nil {
+				return err
+			}
+			defer fi.Close()
+			if err := corpus.Save(fi); err != nil {
+				return err
+			}
+			fmt.Printf("similarity index saved to %s (%d entries, triage threshold %.4f)\n",
+				*idxPath, corpus.HNSW.Len(), corpus.Triage.Threshold)
+		}
 		return nil
 	}
 
@@ -170,5 +188,9 @@ func classifyOne(det *core.Detector, path string) (serve.Verdict, error) {
 	if err != nil {
 		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return serve.MakeVerdict(path, probs, blocks, edges), nil
+	v, err := serve.MakeVerdict(path, probs, blocks, edges, true)
+	if err != nil {
+		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
 }

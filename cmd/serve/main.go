@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"advmal/internal/core"
+	"advmal/internal/index"
 	"advmal/internal/serve"
 )
 
@@ -50,6 +51,7 @@ func run() error {
 		timeout = flag.Duration("timeout", 5*time.Second, "per-request budget in queue + inference")
 		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
 		chaos   = flag.Bool("chaos", false, "arm the fault-injection surface (/chaosz) — test harnesses only")
+		idx     = flag.String("index", "", "similarity corpus snapshot (build one with classify -train -index); arms /v1/similar and classify triage")
 	)
 	flag.Parse()
 
@@ -63,6 +65,21 @@ func run() error {
 		return err
 	}
 
+	var corpus *index.Corpus
+	if *idx != "" {
+		fi, err := os.Open(*idx)
+		if err != nil {
+			return fmt.Errorf("opening index (build one with classify -train -index): %w", err)
+		}
+		corpus, err = index.Load(fi)
+		fi.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serve: similarity index loaded (%d entries, triage threshold %.4f)\n",
+			corpus.HNSW.Len(), corpus.Triage.Threshold)
+	}
+
 	w := *window
 	if w == 0 {
 		w = -1 // Config: negative = greedy flush, zero = default
@@ -74,6 +91,7 @@ func run() error {
 		QueueDepth:     *queue,
 		Workers:        *workers,
 		RequestTimeout: *timeout,
+		Corpus:         corpus,
 	}
 	if *chaos {
 		cfg.Chaos = &serve.Chaos{Exit: os.Exit}

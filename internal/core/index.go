@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+
+	"advmal/internal/index"
+)
+
+// BuildCorpusIndex builds the similarity-serving artefact from the
+// system's training split: an HNSW index over the scaled TrainX
+// vectors, each labeled with its sample's family name (benign, mirai,
+// gafgyt, ...), with the triage threshold calibrated on the same split
+// at quantile (<= 0 selects the 0.99 default). The held-out test split
+// is deliberately excluded — triage distances of unseen clean samples
+// must be measured against an index that has not memorized them, the
+// same discipline the detector's evaluation uses.
+//
+// The zero HNSWConfig is fine for corpus-scale indexes; cfg.Seed
+// defaults to the system's pipeline seed so the whole artefact chain
+// stays reproducible.
+func (s *System) BuildCorpusIndex(cfg index.HNSWConfig, quantile float64) (*index.Corpus, error) {
+	if s.Train == nil {
+		return nil, ErrNotBuilt
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = s.Config.Seed
+	}
+	labels := make([]string, len(s.Train.Records))
+	for i, r := range s.Train.Records {
+		labels[i] = r.Sample.Family.String()
+	}
+	corpus, err := index.BuildCorpus(cfg, s.TrainX, labels, quantile)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return corpus, nil
+}

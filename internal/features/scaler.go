@@ -58,8 +58,15 @@ func (s *Scaler) Fit(vs []Vector) error {
 	return nil
 }
 
-// Fitted reports whether Fit has been called (or ranges were deserialized).
-func (s *Scaler) Fitted() bool { return s.fitted || len(s.Min) > 0 }
+// Fitted reports whether Fit has been called (or ranges were
+// deserialized). Deserialized ranges count only when they are
+// consistent: a scaler whose Min is set but whose Max is nil or of a
+// different length — a hand-edited or truncated model file — must not
+// pass as fitted, or Transform would index past the shorter slice and
+// panic instead of returning ErrNotFitted.
+func (s *Scaler) Fitted() bool {
+	return s.fitted || (len(s.Min) > 0 && len(s.Max) == len(s.Min))
+}
 
 // Transform returns the scaled copy of v. Constant features map to 0.
 func (s *Scaler) Transform(v Vector) (Vector, error) {

@@ -215,3 +215,44 @@ func TestValidatorClipValidConsistency(t *testing.T) {
 		t.Error("Clip output must always be Valid")
 	}
 }
+
+// TestScalerInconsistentDeserialized is the regression test for the
+// deserialized-scaler bug: a scaler whose Min is populated but whose
+// Max is nil or of a different length — a hand-edited or truncated
+// model file decoded straight into the struct — used to pass Fitted()
+// (which only checked Min) and then panic inside Transform indexing
+// past the shorter Max slice. Such a scaler must report unfitted and
+// Transform/Inverse must return ErrNotFitted.
+func TestScalerInconsistentDeserialized(t *testing.T) {
+	cases := map[string]*Scaler{
+		"max-nil":      {Min: []float64{0, 0, 0}},
+		"max-shorter":  {Min: []float64{0, 0, 0}, Max: []float64{1, 1}},
+		"max-longer":   {Min: []float64{0, 0}, Max: []float64{1, 1, 1}},
+		"min-nil-only": {Max: []float64{1, 1}},
+		"both-nil":     {},
+	}
+	for name, s := range cases {
+		if s.Fitted() {
+			t.Errorf("%s: Fitted() = true for inconsistent scaler", name)
+		}
+		if _, err := s.Transform(Vector{1, 2, 3}); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s: Transform = %v, want ErrNotFitted", name, err)
+		}
+		if _, err := s.Inverse(Vector{1, 2, 3}); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s: Inverse = %v, want ErrNotFitted", name, err)
+		}
+	}
+	// A consistent deserialized scaler (Min and Max same length) still
+	// counts as fitted without an explicit Fit call.
+	s := &Scaler{Min: []float64{0, 0}, Max: []float64{2, 4}}
+	if !s.Fitted() {
+		t.Fatal("consistent deserialized scaler should be fitted")
+	}
+	got, err := s.Transform(Vector{1, 1})
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if got[0] != 0.5 || got[1] != 0.25 {
+		t.Errorf("Transform = %v, want [0.5 0.25]", got)
+	}
+}

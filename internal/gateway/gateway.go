@@ -190,6 +190,13 @@ func New(cfg Config) (*Gateway, error) {
 	g.mux.HandleFunc("POST /v1/classify/vector", func(w http.ResponseWriter, r *http.Request) {
 		g.proxy(w, r, "/v1/classify/vector", bodyKey)
 	})
+	// /v1/similar routes on the same graph key as /v1/classify: a
+	// sample queried for neighbors right after classification lands on
+	// the replica whose extractor cache is already warm for its CFG.
+	// The same retry/hedge/breaker ladder applies.
+	g.mux.HandleFunc("POST /v1/similar", func(w http.ResponseWriter, r *http.Request) {
+		g.proxy(w, r, "/v1/similar", g.classifyKey)
+	})
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
@@ -286,6 +293,11 @@ func (g *Gateway) proxy(w http.ResponseWriter, r *http.Request, path string, key
 	}
 	contentType := r.Header.Get("Content-Type")
 	key := keyFn(body, contentType)
+	// Forward the query string (e.g. /v1/similar?k=10) but never let it
+	// into the routing key — placement depends only on content.
+	if q := r.URL.RawQuery; q != "" {
+		path += "?" + q
+	}
 	cands := g.candidates(key)
 	if len(cands) == 0 {
 		g.metrics.Unroutable.Add(1)

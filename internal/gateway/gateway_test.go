@@ -47,6 +47,7 @@ func newFakeReplica(t *testing.T) *fakeReplica {
 	}
 	mux.HandleFunc("POST /v1/classify", classify)
 	mux.HandleFunc("POST /v1/classify/vector", classify)
+	mux.HandleFunc("POST /v1/similar", classify)
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		if f.ready.Load() {
 			w.WriteHeader(http.StatusOK)
@@ -630,5 +631,74 @@ func TestGatewayConcurrentMixedLoad(t *testing.T) {
 	wg.Wait()
 	if bad.Load() != 0 {
 		t.Fatalf("%d requests failed under concurrent load", bad.Load())
+	}
+}
+
+// TestGatewaySimilarAffinityAndQuery pins the /v1/similar route: the
+// same program body shares a shard with /v1/classify (both hash the
+// GraphKey, so a replica's warm feature cache serves both), and the ?k=
+// query string is forwarded to the backend without perturbing the
+// routing key.
+func TestGatewaySimilarAffinityAndQuery(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	var gotQuery atomic.Value
+	for _, f := range replicas {
+		f.setHandler(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/v1/similar" {
+				gotQuery.Store(r.URL.RawQuery)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"family":"mirai"}`)
+		})
+	}
+	g := newTestGateway(t, Config{}, replicas...)
+
+	for _, path := range []string{"/v1/classify", "/v1/similar", "/v1/similar?k=7"} {
+		rec := do(g, http.MethodPost, path, "text/plain", validProgram)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d body %s", path, rec.Code, rec.Body)
+		}
+	}
+	hot := 0
+	for _, f := range replicas {
+		if n := f.hits.Load(); n > 0 {
+			hot++
+			if n != 3 {
+				t.Errorf("replica %s got %d hits, want all 3", f.addr(), n)
+			}
+		}
+	}
+	if hot != 1 {
+		t.Fatalf("%d replicas received traffic, want exactly 1 (classify and similar share the CFG shard)", hot)
+	}
+	if q, _ := gotQuery.Load().(string); q != "k=7" {
+		t.Fatalf("backend saw query %q, want k=7 forwarded", q)
+	}
+}
+
+// TestGatewaySimilarFailover: a replica without a loaded index answers
+// 501; the gateway's retry ladder must fail the request over to a
+// replica that has one.
+func TestGatewaySimilarFailover(t *testing.T) {
+	noIndex := newFakeReplica(t)
+	noIndex.setHandler(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotImplemented)
+		fmt.Fprintln(w, `{"error":"no similarity index loaded"}`)
+	})
+	withIndex := newFakeReplica(t)
+	withIndex.setHandler(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"family":"gafgyt"}`)
+	})
+	g := newTestGateway(t, Config{RetryBackoff: time.Millisecond}, noIndex, withIndex)
+
+	// Whichever replica owns the shard, the answer must come from the
+	// indexed one.
+	rec := do(g, http.MethodPost, "/v1/similar?k=3", "text/plain", validProgram)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "gafgyt") {
+		t.Fatalf("response did not come from the indexed replica: %s", rec.Body)
 	}
 }

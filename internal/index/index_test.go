@@ -1,0 +1,411 @@
+package index
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"advmal/internal/synth"
+)
+
+// corpus draws n clustered labeled vectors in the shape of the scaled
+// feature space (the same generator the bench suite indexes).
+func corpus(seed int64, n, dim int) ([][]float64, []string) {
+	return synth.LabeledVectors(rand.New(rand.NewSource(seed)), n, dim)
+}
+
+func buildBoth(t *testing.T, seed int64, n, dim int) (*Exact, *HNSW, [][]float64) {
+	t.Helper()
+	vecs, labels := corpus(seed, n, dim)
+	ex := NewExact(nil)
+	h := NewHNSW(HNSWConfig{Seed: seed}, nil)
+	for i, v := range vecs {
+		if _, err := ex.Add(labels[i], v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Add(labels[i], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ex, h, vecs
+}
+
+// TestExactOracleOrdering pins the oracle itself: hits come back sorted
+// ascending by true Euclidean distance with the exact nearest first.
+func TestExactOracleOrdering(t *testing.T) {
+	ex, _, vecs := buildBoth(t, 1, 500, 23)
+	q := vecs[123]
+	hits, err := ex.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 10 {
+		t.Fatalf("got %d hits, want 10", len(hits))
+	}
+	if hits[0].ID != 123 || hits[0].Dist != 0 {
+		t.Fatalf("query is a stored vector, expected itself first: %+v", hits[0])
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Dist < hits[i-1].Dist {
+			t.Fatalf("hits out of order at %d: %v then %v", i, hits[i-1].Dist, hits[i].Dist)
+		}
+	}
+	// Cross-check one distance by hand.
+	var want float64
+	for d, x := range q {
+		diff := x - vecs[hits[3].ID][d]
+		want += diff * diff
+	}
+	if got := hits[3].Dist; math.Abs(got-math.Sqrt(want)) > 1e-12 {
+		t.Fatalf("distance %v, hand-computed %v", got, math.Sqrt(want))
+	}
+}
+
+// recallAt10 measures |HNSW top-10 ∩ exact top-10| / 10 averaged over
+// queries.
+func recallAt10(t *testing.T, ex *Exact, h *HNSW, queries [][]float64) float64 {
+	t.Helper()
+	const k = 10
+	var hit, total int
+	for _, q := range queries {
+		want, err := ex.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := h.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := make(map[int]bool, k)
+		for _, w := range want {
+			truth[w.ID] = true
+		}
+		for _, g := range got {
+			if truth[g.ID] {
+				hit++
+			}
+		}
+		total += len(want)
+	}
+	return float64(hit) / float64(total)
+}
+
+// TestHNSWRecallProperty pins the headline approximation guarantee:
+// recall@10 ≥ 0.95 against the exact oracle, on both the clustered
+// corpus shape and adversarially uniform random vectors, across seeds.
+func TestHNSWRecallProperty(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("clustered/seed=%d", seed), func(t *testing.T) {
+			ex, h, _ := buildBoth(t, seed, 2000, 23)
+			rng := rand.New(rand.NewSource(seed + 1000))
+			queries, _ := synth.LabeledVectors(rng, 100, 23)
+			if r := recallAt10(t, ex, h, queries); r < 0.95 {
+				t.Fatalf("recall@10 = %.3f, want ≥ 0.95", r)
+			}
+		})
+	}
+	t.Run("uniform", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(99))
+		ex := NewExact(nil)
+		h := NewHNSW(HNSWConfig{Seed: 99}, nil)
+		for i := 0; i < 2000; i++ {
+			v := make([]float64, 23)
+			for d := range v {
+				v[d] = rng.Float64()
+			}
+			ex.Add("x", v)
+			h.Add("x", v)
+		}
+		queries := make([][]float64, 100)
+		for i := range queries {
+			v := make([]float64, 23)
+			for d := range v {
+				v[d] = rng.Float64()
+			}
+			queries[i] = v
+		}
+		if r := recallAt10(t, ex, h, queries); r < 0.95 {
+			t.Fatalf("recall@10 = %.3f, want ≥ 0.95", r)
+		}
+	})
+}
+
+// TestHNSWDeterministicBuild pins reproducibility: the same config and
+// insertion sequence yield an identical graph, so every query answers
+// identically across two independent builds.
+func TestHNSWDeterministicBuild(t *testing.T) {
+	vecs, labels := corpus(5, 1500, 23)
+	build := func() *HNSW {
+		h := NewHNSW(HNSWConfig{Seed: 5}, nil)
+		for i, v := range vecs {
+			if _, err := h.Add(labels[i], v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return h
+	}
+	a, b := build(), build()
+	for i, la := range a.levels {
+		if la != b.levels[i] {
+			t.Fatalf("node %d level %d vs %d", i, la, b.levels[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(55))
+	queries, _ := synth.LabeledVectors(rng, 50, 23)
+	for _, q := range queries {
+		ha, err := a.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := b.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ha) != len(hb) {
+			t.Fatalf("result lengths differ: %d vs %d", len(ha), len(hb))
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("hit %d differs: %+v vs %+v", i, ha[i], hb[i])
+			}
+		}
+	}
+}
+
+// TestSnapshotRoundTripIdentity pins the persistence contract: a
+// save/load round trip preserves every search result bit for bit, the
+// triage calibration, and — because the level RNG is replayed — the
+// behaviour of inserts made after the reload.
+func TestSnapshotRoundTripIdentity(t *testing.T) {
+	vecs, labels := corpus(9, 800, 23)
+	c, err := BuildCorpus(HNSWConfig{Seed: 9}, vecs, labels, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Triage != c.Triage || loaded.DupEps != c.DupEps {
+		t.Fatalf("metadata drifted: %+v vs %+v", loaded.Triage, c.Triage)
+	}
+	rng := rand.New(rand.NewSource(91))
+	queries, _ := synth.LabeledVectors(rng, 50, 23)
+	checkSame := func() {
+		t.Helper()
+		for _, q := range queries {
+			ha, err := c.HNSW.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hb, err := loaded.HNSW.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ha) != len(hb) {
+				t.Fatalf("result lengths differ: %d vs %d", len(ha), len(hb))
+			}
+			for i := range ha {
+				if ha[i] != hb[i] {
+					t.Fatalf("hit %d differs after round trip: %+v vs %+v", i, ha[i], hb[i])
+				}
+			}
+		}
+	}
+	checkSame()
+	// Continue inserting on both sides: the replayed RNG must keep the
+	// graphs identical.
+	more, moreLabels := corpus(92, 100, 23)
+	for i, v := range more {
+		if _, err := c.HNSW.Add(moreLabels[i], v); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loaded.HNSW.Add(moreLabels[i], v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSame()
+}
+
+// TestSnapshotCorrupt pins the hardening: truncated, garbage, and
+// internally inconsistent snapshots come back as errors, never panics
+// or half-wired indexes.
+func TestSnapshotCorrupt(t *testing.T) {
+	vecs, labels := corpus(3, 50, 23)
+	c, err := BuildCorpus(HNSWConfig{Seed: 3}, vecs, labels, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cases := map[string][]byte{
+		"empty":     {},
+		"garbage":   []byte("not a gob snapshot at all"),
+		"truncated": full[:len(full)/2],
+	}
+	for name, data := range cases {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: Load succeeded, want error", name)
+		}
+	}
+	// Flip a byte in the middle: either a decode error or a validation
+	// error, never success with a silently wrong index... unless the
+	// flip only touched a vector payload, in which case the structure
+	// still validates — so only assert no panic.
+	mut := append([]byte(nil), full...)
+	mut[len(mut)/3] ^= 0xff
+	_, _ = Load(bytes.NewReader(mut))
+}
+
+// TestConcurrentSearchDuringInsert is the race test: one writer
+// streaming inserts while many readers search. Run under -race (make
+// race-index); correctness assertion is that every search that observes
+// a non-empty index returns valid, sorted hits.
+func TestConcurrentSearchDuringInsert(t *testing.T) {
+	vecs, labels := corpus(13, 3000, 23)
+	h := NewHNSW(HNSWConfig{Seed: 13}, nil)
+	// Seed a few entries so searches never race an empty index.
+	for i := 0; i < 50; i++ {
+		if _, err := h.Add(labels[i], vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			queries, _ := synth.LabeledVectors(rng, 50, 23)
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				q := queries[i%len(queries)]
+				hits, err := h.Search(q, 5)
+				if err != nil {
+					t.Errorf("search: %v", err)
+					return
+				}
+				for j := 1; j < len(hits); j++ {
+					if hits[j].Dist < hits[j-1].Dist {
+						t.Errorf("unsorted hits under concurrency")
+						return
+					}
+				}
+			}
+		}(int64(w + 100))
+	}
+	for i := 50; i < len(vecs); i++ {
+		if _, err := h.Add(labels[i], vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if h.Len() != len(vecs) {
+		t.Fatalf("index holds %d entries, want %d", h.Len(), len(vecs))
+	}
+}
+
+// TestDimAndEmptyErrors pins the error contract shared by both engines.
+func TestDimAndEmptyErrors(t *testing.T) {
+	for name, s := range map[string]interface {
+		Searcher
+		Add(string, []float64) (int, error)
+	}{
+		"exact": NewExact(nil),
+		"hnsw":  NewHNSW(HNSWConfig{Seed: 1}, nil),
+	} {
+		if _, err := s.Search([]float64{1, 2}, 3); !errors.Is(err, ErrEmpty) {
+			t.Errorf("%s: empty search err = %v, want ErrEmpty", name, err)
+		}
+		if _, err := s.Add("a", []float64{1, 2, 3}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := s.Add("b", []float64{1, 2}); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("%s: short add err = %v, want ErrDimMismatch", name, err)
+		}
+		if _, err := s.Search([]float64{1}, 1); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("%s: short query err = %v, want ErrDimMismatch", name, err)
+		}
+	}
+}
+
+// TestAttribution pins majority voting with nearer-label tie-breaks.
+func TestAttribution(t *testing.T) {
+	fam, votes := Attribution([]Hit{
+		{ID: 0, Label: "mirai", Dist: 0.1},
+		{ID: 1, Label: "gafgyt", Dist: 0.2},
+		{ID: 2, Label: "mirai", Dist: 0.3},
+	})
+	if fam != "mirai" || votes != 2 {
+		t.Fatalf("got (%s, %d), want (mirai, 2)", fam, votes)
+	}
+	// 2-2 tie: the nearer label wins.
+	fam, _ = Attribution([]Hit{
+		{ID: 0, Label: "gafgyt", Dist: 0.1},
+		{ID: 1, Label: "mirai", Dist: 0.2},
+		{ID: 2, Label: "mirai", Dist: 0.3},
+		{ID: 3, Label: "gafgyt", Dist: 0.4},
+	})
+	if fam != "gafgyt" {
+		t.Fatalf("tie should go to the nearer label, got %s", fam)
+	}
+}
+
+// TestCalibrateTriage pins the triage semantics: corpus-shaped queries
+// stay under the threshold, a far off-manifold query is flagged.
+func TestCalibrateTriage(t *testing.T) {
+	vecs, labels := corpus(21, 1000, 23)
+	c, err := BuildCorpus(HNSWConfig{Seed: 21}, vecs, labels, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Triage.Threshold <= 0 {
+		t.Fatalf("threshold %v, want > 0", c.Triage.Threshold)
+	}
+	// A held-out corpus-shaped query: near the manifold, mostly unflagged.
+	rng := rand.New(rand.NewSource(210))
+	held, _ := synth.LabeledVectors(rng, 200, 23)
+	flagged := 0
+	for _, q := range held {
+		hits, err := c.HNSW.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Triage.Score(hits).Flagged {
+			flagged++
+		}
+	}
+	if flagged > len(held)/4 {
+		t.Fatalf("%d/%d clean held-out queries flagged — threshold too tight", flagged, len(held))
+	}
+	// A query far outside [0,1]^23: always flagged.
+	far := make([]float64, 23)
+	for i := range far {
+		far[i] = 10
+	}
+	hits, err := c.HNSW.Search(far, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := c.Triage.Score(hits)
+	if !ti.Flagged || ti.Distance <= c.Triage.Threshold {
+		t.Fatalf("off-manifold query not flagged: %+v", ti)
+	}
+}

@@ -1,0 +1,91 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triage turns distance-to-nearest-labeled-neighbor into an online
+// adversarial-sample score. The paper's GEA splices (§V) graft a target
+// CFG into a sample, moving its 23-dim feature vector off the region
+// the training corpus occupies — so a query whose nearest corpus
+// neighbor is farther than anything seen during calibration is flagged
+// for human triage. Threshold is calibrated on the corpus itself: the
+// Quantile of every member's self-excluded nearest-neighbor distance.
+type Triage struct {
+	// Threshold flags queries whose nearest-neighbor distance exceeds it.
+	Threshold float64 `json:"threshold"`
+	// Quantile records the calibration quantile (diagnostics only).
+	Quantile float64 `json:"quantile"`
+}
+
+// TriageInfo is the per-query triage verdict attached to classify and
+// similar responses.
+type TriageInfo struct {
+	// Distance is the Euclidean distance to the nearest labeled neighbor.
+	Distance float64 `json:"distance"`
+	// NearestID and NearestLabel identify that neighbor.
+	NearestID    int    `json:"nearest_id"`
+	NearestLabel string `json:"nearest_label"`
+	// Threshold echoes the calibrated flag threshold.
+	Threshold float64 `json:"threshold"`
+	// Flagged is Distance > Threshold: the query sits off the corpus
+	// manifold, the GEA signature.
+	Flagged bool `json:"flagged"`
+}
+
+// Score computes the triage verdict for the nearest hit of a query.
+// hits must be non-empty (a search over a non-empty index always is).
+func (t Triage) Score(hits []Hit) TriageInfo {
+	nearest := hits[0]
+	return TriageInfo{
+		Distance:     nearest.Dist,
+		NearestID:    nearest.ID,
+		NearestLabel: nearest.Label,
+		Threshold:    t.Threshold,
+		Flagged:      nearest.Dist > t.Threshold,
+	}
+}
+
+// CalibrateTriage computes the flag threshold as the quantile of every
+// corpus member's distance to its nearest neighbor other than itself.
+// quantile <= 0 selects 0.99 — with min-max scaled features the clean
+// tail is tight, so the 99th percentile separates GEA-displaced vectors
+// without flagging ordinary unseen samples. The searcher must index the
+// same store the calibration walks.
+func CalibrateTriage(s Searcher, store Store, quantile float64) (Triage, error) {
+	n := store.Len()
+	if n < 2 {
+		return Triage{}, fmt.Errorf("index: calibrate: need at least 2 entries, have %d", n)
+	}
+	if quantile <= 0 {
+		quantile = 0.99
+	}
+	if quantile > 1 {
+		quantile = 1
+	}
+	dists := make([]float64, 0, n)
+	for id := 0; id < n; id++ {
+		hits, err := s.Search(store.Vec(id), 2)
+		if err != nil {
+			return Triage{}, err
+		}
+		// The member itself is normally hits[0] at distance 0; take the
+		// first hit that is not this id. Exact duplicates make both hits
+		// distance 0, which is the right answer anyway.
+		d := hits[0].Dist
+		if hits[0].ID == id && len(hits) > 1 {
+			d = hits[1].Dist
+		}
+		dists = append(dists, d)
+	}
+	sort.Float64s(dists)
+	pos := int(quantile*float64(len(dists))) - 1
+	if pos < 0 {
+		pos = 0
+	}
+	if pos >= len(dists) {
+		pos = len(dists) - 1
+	}
+	return Triage{Threshold: dists[pos], Quantile: quantile}, nil
+}

@@ -6,12 +6,31 @@
 // nn.Workspaces via ProbsBatch, so single-request latency stays within
 // the window while throughput approaches the batched-kernel ceiling.
 //
+// When a similarity corpus (index.Corpus) is wired in, the service also
+// answers /v1/similar — k-NN family attribution and near-duplicate
+// detection over the labeled training corpus — and classify verdicts
+// carry a triage block scoring each query's distance to the corpus
+// manifold (GEA splices land far from it; see internal/index).
+//
 // The package also owns the wire schema (Verdict) shared with
 // cmd/classify's -json mode, the serving metrics registry, and the
 // latency-summary helpers shared with cmd/loadgen and cmd/bench.
 package serve
 
-import "advmal/internal/nn"
+import (
+	"errors"
+	"math"
+
+	"advmal/internal/index"
+	"advmal/internal/nn"
+)
+
+// ErrNonFiniteProbs reports an inference result that cannot cross the
+// wire: encoding/json refuses NaN and ±Inf, so a degenerate model (or a
+// SafeProbs fallback row) surfacing them must become a typed error —
+// the server maps it to a clean 500 instead of failing mid-response
+// with an opaque encoder error.
+var ErrNonFiniteProbs = errors.New("serve: inference produced non-finite probabilities")
 
 // Verdict is the service's response schema for one classified program —
 // also emitted, one object per line, by `classify -json`, so offline and
@@ -28,10 +47,21 @@ type Verdict struct {
 	Confidence float64 `json:"confidence"`
 	// Probs is the full class-probability vector.
 	Probs []float64 `json:"probs"`
-	// Blocks and Edges summarize the program's CFG. Omitted for raw
-	// feature-vector requests, which carry no graph.
-	Blocks int `json:"blocks,omitempty"`
-	Edges  int `json:"edges,omitempty"`
+	// HasGraph reports whether this verdict came from a real program
+	// with a CFG (true) or a raw feature-vector request (false). It is
+	// an explicit marker — not omitempty inference — because a
+	// single-block, zero-edge program's {0 blocks is impossible, but 1
+	// block / 0 edges is real} summary must stay distinguishable from a
+	// vector-only verdict for offline/online diffing.
+	HasGraph bool `json:"has_graph"`
+	// Blocks and Edges summarize the program's CFG; both zero (and
+	// meaningless) when HasGraph is false. Always serialized — a
+	// legitimate zero is a value, not an absence.
+	Blocks int `json:"blocks"`
+	Edges  int `json:"edges"`
+	// Triage, when a similarity corpus is wired into the server, scores
+	// the query's distance to its nearest labeled corpus neighbor.
+	Triage *index.TriageInfo `json:"triage,omitempty"`
 }
 
 // Label returns the wire label for a class index.
@@ -43,8 +73,15 @@ func Label(class int) string {
 }
 
 // MakeVerdict assembles a Verdict from a probability vector and CFG
-// summary counts (pass zeros for vector-only requests).
-func MakeVerdict(name string, probs []float64, blocks, edges int) Verdict {
+// summary counts (pass zeros and hasGraph=false for vector-only
+// requests). Non-finite probabilities are rejected with
+// ErrNonFiniteProbs before they can poison the JSON encoder.
+func MakeVerdict(name string, probs []float64, blocks, edges int, hasGraph bool) (Verdict, error) {
+	for _, p := range probs {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			return Verdict{}, ErrNonFiniteProbs
+		}
+	}
 	class := nn.Argmax(probs)
 	return Verdict{
 		Name:       name,
@@ -52,7 +89,8 @@ func MakeVerdict(name string, probs []float64, blocks, edges int) Verdict {
 		Label:      Label(class),
 		Confidence: probs[class],
 		Probs:      probs,
+		HasGraph:   hasGraph,
 		Blocks:     blocks,
 		Edges:      edges,
-	}
+	}, nil
 }

@@ -126,6 +126,12 @@ type Metrics struct {
 	VerdictBenign  atomic.Uint64
 	VerdictMalware atomic.Uint64
 
+	// Similarity-layer counters: /v1/similar queries served, and
+	// classify/similar responses whose triage distance exceeded the
+	// calibrated threshold (the off-manifold, GEA-shaped queries).
+	Similar       atomic.Uint64
+	TriageFlagged atomic.Uint64
+
 	// Distributions.
 	BatchSize *Histogram // rows per executed batch
 	QueueWait *Histogram // enqueue → batch start, seconds
@@ -165,6 +171,8 @@ func (m *Metrics) WriteText(w io.Writer, cache features.CacheStats) {
 	fmt.Fprintf(w, "advmal_batch_panics_total %d\n", m.Panics.Load())
 	fmt.Fprintf(w, "advmal_verdicts_total{class=\"benign\"} %d\n", m.VerdictBenign.Load())
 	fmt.Fprintf(w, "advmal_verdicts_total{class=\"malware\"} %d\n", m.VerdictMalware.Load())
+	fmt.Fprintf(w, "advmal_similar_requests_total %d\n", m.Similar.Load())
+	fmt.Fprintf(w, "advmal_triage_flagged_total %d\n", m.TriageFlagged.Load())
 	m.BatchSize.write(w, "advmal_batch_size")
 	m.QueueWait.write(w, "advmal_queue_wait_seconds")
 	m.InferLat.write(w, "advmal_inference_seconds")

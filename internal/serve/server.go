@@ -13,6 +13,7 @@ import (
 
 	"advmal/internal/core"
 	"advmal/internal/features"
+	"advmal/internal/index"
 	"advmal/internal/ir"
 )
 
@@ -37,6 +38,11 @@ type Config struct {
 	// NewEngine overrides the per-worker inference engine; nil borrows
 	// detector workspaces. Tests use it to inject fakes.
 	NewEngine func() BatchEngine
+	// Corpus, when non-nil, arms the similarity layer: /v1/similar
+	// (k-NN family attribution over the labeled training corpus) and
+	// the triage block on classify verdicts. Load one with index.Load
+	// or build it with core.System.BuildCorpusIndex.
+	Corpus *index.Corpus
 	// Chaos, when non-nil, arms the fault-injection surface: the
 	// /chaosz control endpoint, handler-level slow/error/blackhole
 	// faults, and the serialized engine inference delay. Production
@@ -106,6 +112,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	s.mux.HandleFunc("POST /v1/classify/vector", s.handleVector)
+	s.mux.HandleFunc("POST /v1/similar", s.handleSimilar)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -190,7 +197,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.classify(w, r, name, vec, blocks, edges)
+	s.classify(w, r, name, vec, blocks, edges, true)
 }
 
 // handleVector accepts a raw feature vector, scales it with the
@@ -213,12 +220,12 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	s.classify(w, r, req.Name, scaled, 0, 0)
+	s.classify(w, r, req.Name, scaled, 0, 0, false)
 }
 
 // classify submits a scaled vector to the batcher and writes the verdict
 // or the mapped admission/execution error.
-func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, vec []float64, blocks, edges int) {
+func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, vec []float64, blocks, edges int, hasGraph bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 	probs, err := s.batcher.Submit(ctx, vec)
@@ -241,7 +248,22 @@ func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, v
 		}
 		return
 	}
-	v := MakeVerdict(name, probs, blocks, edges)
+	v, err := MakeVerdict(name, probs, blocks, edges, hasGraph)
+	if err != nil {
+		// Non-finite probabilities: a typed 500 with a clear message,
+		// never a mid-response JSON encoder failure.
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	if c := s.cfg.Corpus; c != nil {
+		if hits, herr := c.HNSW.Search(vec, 1); herr == nil && len(hits) > 0 {
+			ti := c.Triage.Score(hits)
+			v.Triage = &ti
+			if ti.Flagged {
+				s.metrics.TriageFlagged.Add(1)
+			}
+		}
+	}
 	s.metrics.Verdict(v.Class)
 	writeJSON(w, http.StatusOK, v)
 }

@@ -1,0 +1,54 @@
+package synth
+
+import "math/rand"
+
+// LabeledVectors draws n scaled-space (≈[0,1]) feature vectors of the
+// given dimension, labeled by family, without running the program
+// generator — the index bench suite needs 10k/100k/1M labeled points,
+// far beyond what disassembly-backed generation can produce in bench
+// time. The distribution mirrors what the real corpus looks like after
+// min-max scaling: one cluster center per family (benign plus the five
+// malware families), per-family anisotropic spread, plus a small
+// uniform background component so the space is not trivially
+// separable. Deterministic for a given rng state.
+func LabeledVectors(rng *rand.Rand, n, dim int) (vecs [][]float64, labels []string) {
+	fams := append([]Family{Benign}, MalwareFamilies()...)
+	centers := make([][]float64, len(fams))
+	spreads := make([][]float64, len(fams))
+	for f := range fams {
+		c := make([]float64, dim)
+		s := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			c[d] = 0.15 + 0.7*rng.Float64()
+			s[d] = 0.02 + 0.06*rng.Float64()
+		}
+		centers[f] = c
+		spreads[f] = s
+	}
+	vecs = make([][]float64, n)
+	labels = make([]string, n)
+	for i := 0; i < n; i++ {
+		f := rng.Intn(len(fams))
+		v := make([]float64, dim)
+		if rng.Float64() < 0.02 {
+			// Background component: corpus stragglers that belong to no
+			// tight cluster, keeping nearest-neighbor structure honest.
+			for d := 0; d < dim; d++ {
+				v[d] = rng.Float64()
+			}
+		} else {
+			for d := 0; d < dim; d++ {
+				x := centers[f][d] + rng.NormFloat64()*spreads[f][d]
+				if x < 0 {
+					x = 0
+				} else if x > 1 {
+					x = 1
+				}
+				v[d] = x
+			}
+		}
+		vecs[i] = v
+		labels[i] = fams[f].String()
+	}
+	return vecs, labels
+}

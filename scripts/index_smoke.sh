@@ -1,0 +1,103 @@
+#!/bin/sh
+# index_smoke.sh — end-to-end smoke of the similarity layer.
+#
+# Trains a tiny detector with a similarity corpus (classify -train
+# -index), serves both artefacts, and asserts the full path works:
+#
+#   1. /v1/similar with a raw-vector query answers 200 with k hits and a
+#      non-empty family attribution;
+#   2. /v1/similar with an assembly program answers 200 and an
+#      off-manifold toy program comes back triage-flagged;
+#   3. /v1/classify carries the triage block when an index is loaded.
+#
+# Run from the repo root (the Makefile index-smoke target does).
+set -eu
+
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+	[ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "index-smoke: building binaries"
+go build -o "$TMP" ./cmd/serve ./cmd/classify
+
+echo "index-smoke: training a tiny detector + similarity corpus"
+"$TMP/classify" -train -model "$TMP/det.gob" -index "$TMP/corpus.gob" \
+	-benign 20 -malware 60 -epochs 15 >/dev/null
+
+echo "index-smoke: starting server with the corpus loaded"
+"$TMP/serve" -model "$TMP/det.gob" -index "$TMP/corpus.gob" -addr 127.0.0.1:0 \
+	>"$TMP/serve.out" 2>"$TMP/serve.err" &
+SERVE_PID=$!
+
+ADDR=""
+i=0
+while [ $i -lt 100 ]; do
+	ADDR=$(sed -n 's/^serve: listening on \([^ ]*\).*/\1/p' "$TMP/serve.out")
+	[ -n "$ADDR" ] && break
+	if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+		cat "$TMP/serve.err" >&2
+		echo "index-smoke: FAIL — server died during startup" >&2
+		exit 1
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$ADDR" ]; then
+	echo "index-smoke: FAIL — server never reported its address" >&2
+	exit 1
+fi
+echo "index-smoke: server up at $ADDR"
+
+# 1: raw-vector similarity query → 200, k hits, non-empty family.
+VEC='{"vector":[120,14,3,8,2,1,4,2.5,1.5,0.8,6,2,9,3,1,0.5,0.2,0.1,4,2,1,0.5,0.3]}'
+OUT=$(curl -sf -X POST -H 'Content-Type: application/json' \
+	-d "$VEC" "http://$ADDR/v1/similar?k=5") || {
+	echo "index-smoke: FAIL — vector query did not answer 200" >&2
+	exit 1
+}
+echo "$OUT" | grep -q '"family":"[a-z]' || {
+	echo "index-smoke: FAIL — no family attribution in: $OUT" >&2
+	exit 1
+}
+echo "$OUT" | grep -q '"hits":\[{' || {
+	echo "index-smoke: FAIL — no hits in: $OUT" >&2
+	exit 1
+}
+echo "index-smoke: vector query attributed a family"
+
+# 2: an off-manifold toy program must be triage-flagged.
+OUT=$(curl -sf -X POST -H 'Content-Type: text/plain' \
+	--data-binary 'movi r0, 1
+ret
+' "http://$ADDR/v1/similar") || {
+	echo "index-smoke: FAIL — program query did not answer 200" >&2
+	exit 1
+}
+echo "$OUT" | grep -q '"flagged":true' || {
+	echo "index-smoke: FAIL — toy program not triage-flagged: $OUT" >&2
+	exit 1
+}
+echo "index-smoke: off-manifold program triage-flagged"
+
+# 3: /v1/classify carries the triage block when an index is loaded.
+OUT=$(curl -sf -X POST -H 'Content-Type: text/plain' \
+	--data-binary 'movi r0, 1
+ret
+' "http://$ADDR/v1/classify") || {
+	echo "index-smoke: FAIL — classify did not answer 200" >&2
+	exit 1
+}
+echo "$OUT" | grep -q '"triage":{' || {
+	echo "index-smoke: FAIL — classify verdict missing triage block: $OUT" >&2
+	exit 1
+}
+echo "index-smoke: classify verdict carries triage"
+
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+echo "index-smoke: PASS"
