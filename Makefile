@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short race-train quant-parity bench-train bench-train-short
 
 build:
 	$(GO) build ./...
@@ -143,4 +143,33 @@ bench-index:
 bench-index-short:
 	$(GO) run ./cmd/bench -suite index -short -o /tmp/BENCH_index.short.json
 
-check: build race race-fused race-nn race-serve race-gateway race-index serve-smoke gateway-smoke index-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short
+# The parallel gradient reduction under the race detector: the chunked
+# pairwise-tree fold racing across pool workers, pinned byte-identical
+# against the serial oracle at 1/2/4 workers, plus the serial-vs-tree
+# agreement contract below three workers.
+race-train:
+	$(GO) test -race -timeout 1800s -run 'TrainerReduction|SerialReduction|TrainerWorkspaceParity' ./internal/nn/
+
+# The int8 quantized tier's fidelity gates: the quant-vs-float property
+# tests (probability closeness, argmax agreement away from the band,
+# determinism, zero allocs), the core Table I accuracy-delta pin and
+# calibration persistence round-trip, and the serve tier escalation
+# tests.
+quant-parity:
+	$(GO) test -timeout 1800s -run 'Quant' ./internal/nn/
+	$(GO) test -timeout 1800s -run 'Quantized|Calibration' ./internal/core/
+	$(GO) test -timeout 1800s -run 'Tier|Quantiz' ./internal/serve/
+
+# Refresh the committed training-path snapshot: tree vs serial gradient
+# reduction at 1–8 workers, pinned-service-time epoch scaling, real
+# epoch wall-clock, and the int8-vs-float inference rows with the
+# Table I fidelity metrics. See EXPERIMENTS.md §Benchmark snapshots.
+bench-train:
+	$(GO) run ./cmd/bench -suite train -o BENCH_train.json
+
+# Smoke-run the train suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-train.
+bench-train-short:
+	$(GO) run ./cmd/bench -suite train -short -o /tmp/BENCH_train.short.json
+
+check: build race race-fused race-nn race-serve race-gateway race-index race-train quant-parity serve-smoke gateway-smoke index-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short bench-train-short

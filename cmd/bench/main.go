@@ -28,10 +28,17 @@
 //	  oracle at 10k/100k/1M entries, recording build wall-clock, mean
 //	  and p50/p99 search latency, and recall@10 against the oracle's
 //	  ground truth. Snapshot: BENCH_index.json.
+//	train — the training path: the chunked pairwise-tree gradient
+//	  reduction vs the pre-PR serial sweep at 1–8 workers, epoch
+//	  wall-clock with pinned per-sample service time (worker-scaling
+//	  meaningful on any host, per the gateway suite's precedent) and
+//	  with real compute, plus the int8 quantized engine vs the float64
+//	  workspace and its Table I accuracy fidelity. Snapshot:
+//	  BENCH_train.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite extract|nn|serve|gateway|index] [-short] [-o FILE]
+//	go run ./cmd/bench [-suite extract|nn|serve|gateway|index|train] [-short] [-o FILE]
 //
 // -short trims sizes and skips the trained-detector benches; the
 // Makefile `check` target runs both suites as smoke tests, while `make
@@ -160,8 +167,10 @@ func main() {
 		gatewaySuite(h, *short)
 	case "index":
 		indexSuite(h, *short)
+	case "train":
+		trainSuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, or index)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, index, or train)", *suite))
 	}
 
 	finish(h, *out)

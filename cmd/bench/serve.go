@@ -75,6 +75,39 @@ func serveSuite(h *harness, short bool) {
 	h.speedup("serve-batch16-vs-per-request", "serve/per-request/oracle", "serve/batch/b=16,w=500us")
 	h.speedup("serve-batch64-vs-per-request", "serve/per-request/oracle", "serve/batch/b=64,w=2ms")
 
+	// Quantized tiers on the headline batching configuration: the pure
+	// int8 bulk path, and the two-tier engine with the default 0.2
+	// escalation band (borderline rows re-run on the float workspace; the
+	// recorded escalated_frac says how much of this traffic that was).
+	calib, err := nn.Calibrate(det.Net, vecs)
+	if err != nil {
+		fatal(err)
+	}
+	det.Calib = calib
+	qm, err := det.Quantized()
+	if err != nil {
+		fatal(err)
+	}
+	serveThroughputRow(h, "serve/batch/b=64,w=2ms/quant", parallel, vecs,
+		serve.BatcherConfig{
+			BatchSize: 64, Window: 2 * time.Millisecond, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine { return qm.NewWS() },
+		})
+	tierMetrics := serve.NewMetrics()
+	serveThroughputRow(h, "serve/batch/b=64,w=2ms/tiered", parallel, vecs,
+		serve.BatcherConfig{
+			BatchSize: 64, Window: 2 * time.Millisecond, QueueDepth: 4096,
+			NewEngine: func() serve.BatchEngine {
+				return serve.NewTieredEngine(qm.NewWS(), det.AcquireWS(), 0.2, tierMetrics)
+			},
+		})
+	if total := tierMetrics.TierBulk.Load() + tierMetrics.TierEscalated.Load(); total > 0 {
+		addMetric(h, "serve/batch/b=64,w=2ms/tiered", "escalated_frac",
+			float64(tierMetrics.TierEscalated.Load())/float64(total))
+	}
+	h.speedup("serve-quant-vs-float/batch64", "serve/batch/b=64,w=2ms", "serve/batch/b=64,w=2ms/quant")
+	h.speedup("serve-tiered-vs-float/batch64", "serve/batch/b=64,w=2ms", "serve/batch/b=64,w=2ms/tiered")
+
 	// Latency pass on the headline configuration: closed-loop clients,
 	// client-observed latency vs. the window + inference budget SLO.
 	serveLatencyRow(h, "serve/latency/b=64,w=2ms", parallel, requests, vecs,

@@ -47,6 +47,7 @@ func run(ctx context.Context) error {
 		malware    = flag.Int("malware", 2281, "malicious corpus size (paper: 2281)")
 		maxSamples = flag.Int("max", 0, "cap attacked samples per generic method (0 = all)")
 		noverify   = flag.Bool("noverify", false, "skip GEA functionality verification")
+		workers    = flag.Int("workers", 0, "data-parallel width for feature extraction and training (0 = GOMAXPROCS)")
 		verbose    = flag.Bool("v", false, "print per-epoch training progress")
 	)
 	flag.Parse()
@@ -56,6 +57,7 @@ func run(ctx context.Context) error {
 	cfg.Epochs = *epochs
 	cfg.NumBenign = *benign
 	cfg.NumMal = *malware
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

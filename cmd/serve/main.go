@@ -52,6 +52,8 @@ func run() error {
 		grace   = flag.Duration("grace", 30*time.Second, "drain deadline after SIGTERM")
 		chaos   = flag.Bool("chaos", false, "arm the fault-injection surface (/chaosz) — test harnesses only")
 		idx     = flag.String("index", "", "similarity corpus snapshot (build one with classify -train -index); arms /v1/similar and classify triage")
+		quant   = flag.Bool("quant", false, "serve bulk traffic on the int8 quantized tier (detector must carry calibration ranges)")
+		band    = flag.Float64("band", 0.2, "with -quant: escalate rows whose quantized top-two margin is below this to the float engine (negative = never)")
 	)
 	flag.Parse()
 
@@ -92,6 +94,11 @@ func run() error {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		Corpus:         corpus,
+		Quantize:       *quant,
+		Band:           *band,
+	}
+	if *quant {
+		fmt.Fprintf(os.Stderr, "serve: int8 quantized tier armed (escalation band %.2f)\n", *band)
 	}
 	if *chaos {
 		cfg.Chaos = &serve.Chaos{Exit: os.Exit}

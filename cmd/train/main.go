@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	train [-seed N] [-epochs N] [-batch N] [-benign N] [-malware N] [-model weights.gob] [-v]
+//	train [-seed N] [-epochs N] [-batch N] [-benign N] [-malware N] [-workers N] [-model weights.gob] [-v]
 package main
 
 import (
@@ -42,6 +42,7 @@ func run(ctx context.Context) error {
 		malware  = flag.Int("malware", 2281, "malicious corpus size")
 		model    = flag.String("model", "", "save trained weights (gob) to this file")
 		families = flag.Bool("families", false, "also train the family-level multi-class classifier")
+		workers  = flag.Int("workers", 0, "data-parallel width for feature extraction and training (0 = GOMAXPROCS)")
 		verbose  = flag.Bool("v", false, "print per-epoch progress")
 	)
 	flag.Parse()
@@ -52,6 +53,7 @@ func run(ctx context.Context) error {
 	cfg.BatchSize = *batch
 	cfg.NumBenign = *benign
 	cfg.NumMal = *malware
+	cfg.Workers = *workers
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}

@@ -25,6 +25,12 @@ import (
 type Detector struct {
 	Scaler *features.Scaler
 	Net    *nn.Network
+	// Calib holds the per-boundary activation ranges observed on the
+	// training split, enabling the int8 quantized inference tier (see
+	// Quantized). Nil means no calibration pass ran — float-only serving.
+	// Persisted alongside the weights: a saved detector can serve the
+	// quantized tier without access to the training corpus.
+	Calib *nn.Calibration
 	// Extractor serves classification through the fused sweep engine and
 	// its content-keyed cache; nil uses features.Shared. Not persisted —
 	// the cache is derived state.
@@ -33,6 +39,11 @@ type Detector struct {
 	// ws pools inference workspaces over weight-sharing clones of Net.
 	// Lazily populated; the zero value is ready to use.
 	ws sync.Pool
+
+	// Lazily compiled quantized model (see Quantized).
+	quantOnce  sync.Once
+	quantModel *nn.QuantModel
+	quantErr   error
 }
 
 // AcquireWS borrows an inference workspace over a weight-sharing clone
@@ -49,13 +60,47 @@ func (d *Detector) AcquireWS() *nn.Workspace {
 // ReleaseWS returns a workspace obtained from AcquireWS to the pool.
 func (d *Detector) ReleaseWS(w *nn.Workspace) { d.ws.Put(w) }
 
+// Quantized returns the int8 quantized model compiled from the
+// detector's network and calibration, building it once on first call.
+// It fails with nn.ErrNoCalibration when the detector carries no
+// activation ranges (an un-calibrated or pre-calibration save), and
+// with nn.ErrQuantUnsupported for architectures the int8 compiler
+// cannot express. The returned model is immutable and safe for
+// concurrent use; serving workers derive per-goroutine workspaces from
+// it with NewWS.
+func (d *Detector) Quantized() (*nn.QuantModel, error) {
+	d.quantOnce.Do(func() {
+		if d.Calib == nil {
+			d.quantErr = fmt.Errorf("core: quantized: %w: detector has no calibration ranges", nn.ErrNoCalibration)
+			return
+		}
+		m, err := nn.Quantize(d.Net, d.Calib)
+		if err != nil {
+			d.quantErr = fmt.Errorf("core: quantized: %w", err)
+			return
+		}
+		d.quantModel = m
+	})
+	return d.quantModel, d.quantErr
+}
+
 // Detector returns the system's deployable detector, sharing the
-// system's feature cache.
+// system's feature cache. When the training design matrix is still in
+// memory it also runs the activation-calibration pass over it, so the
+// detector (and any save of it) can serve the int8 quantized tier.
 func (s *System) Detector() (*Detector, error) {
 	if s.Net == nil {
 		return nil, ErrNotTrained
 	}
-	return &Detector{Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor}, nil
+	d := &Detector{Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor}
+	if len(s.TrainX) > 0 {
+		calib, err := nn.Calibrate(s.Net, s.TrainX)
+		if err != nil {
+			return nil, fmt.Errorf("core: calibrate: %w", err)
+		}
+		d.Calib = calib
+	}
+	return d, nil
 }
 
 // Classify runs the full pipeline on one untrusted program. Faults in
@@ -96,14 +141,19 @@ func (d *Detector) Vectorize(prog *ir.Program) (vec []float64, blocks, edges int
 }
 
 // detectorEnvelope is the on-disk format: the scaler ranges plus the gob
-// weight snapshot produced by nn.Network.Save.
+// weight snapshot produced by nn.Network.Save. CalibMin/CalibMax carry
+// the quantization calibration ranges; gob tolerates their absence in
+// both directions, so pre-calibration files load as float-only
+// detectors and calibrated files load under pre-calibration code.
 type detectorEnvelope struct {
-	Min, Max []float64
-	Weights  []byte
+	Min, Max           []float64
+	Weights            []byte
+	CalibMin, CalibMax []float64
 }
 
-// Save writes the detector (scaler ranges + CNN weights). The
-// architecture is code (PaperCNN), so only parameters are persisted.
+// Save writes the detector (scaler ranges + CNN weights + calibration
+// ranges when present). The architecture is code (PaperCNN), so only
+// parameters are persisted.
 func (d *Detector) Save(w io.Writer) error {
 	if d.Scaler == nil || !d.Scaler.Fitted() || d.Net == nil {
 		return fmt.Errorf("core: save: detector incomplete")
@@ -111,6 +161,10 @@ func (d *Detector) Save(w io.Writer) error {
 	var env detectorEnvelope
 	env.Min = append([]float64(nil), d.Scaler.Min...)
 	env.Max = append([]float64(nil), d.Scaler.Max...)
+	if d.Calib != nil {
+		env.CalibMin = append([]float64(nil), d.Calib.Min...)
+		env.CalibMax = append([]float64(nil), d.Calib.Max...)
+	}
 	var buf bytes.Buffer
 	if err := d.Net.Save(&buf); err != nil {
 		return err
@@ -164,6 +218,14 @@ func LoadDetector(r io.Reader) (d *Detector, err error) {
 	}
 	if err := d.Net.Load(bytes.NewReader(env.Weights)); err != nil {
 		return nil, fmt.Errorf("core: load detector: weights: %w", err)
+	}
+	if len(env.CalibMin) > 0 || len(env.CalibMax) > 0 {
+		calib := &nn.Calibration{Min: env.CalibMin, Max: env.CalibMax}
+		if !calib.Valid(len(d.Net.Layers())) {
+			return nil, fmt.Errorf("core: load detector: bad calibration ranges (%d min, %d max for %d layers)",
+				len(env.CalibMin), len(env.CalibMax), len(d.Net.Layers()))
+		}
+		d.Calib = calib
 	}
 	return d, nil
 }

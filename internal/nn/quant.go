@@ -1,0 +1,652 @@
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"advmal/internal/tensor"
+)
+
+// Quantization errors.
+var (
+	// ErrNoCalibration indicates Quantize was called without usable
+	// calibration ranges (nil, wrong boundary count, or non-finite).
+	ErrNoCalibration = errors.New("nn: no calibration")
+	// ErrQuantUnsupported indicates a layer stack the int8 compiler
+	// cannot lower (e.g. a network whose final MAC layer is not Dense).
+	ErrQuantUnsupported = errors.New("nn: architecture not quantizable")
+)
+
+// Calibration captures per-boundary activation ranges observed during a
+// float forward pass over a representative (training) set. Boundary i is
+// the input of layer i; the last boundary is the logit vector. The
+// ranges drive the activation quantization scales of the int8 engine and
+// are persisted alongside the detector so serving can rebuild the
+// quantized tier without access to the training set.
+type Calibration struct {
+	Min, Max []float64 // len = len(layers)+1
+}
+
+// Boundaries returns the number of recorded layer boundaries.
+func (c *Calibration) Boundaries() int { return len(c.Min) }
+
+// Valid reports whether the calibration is structurally usable for a
+// network with layers layer boundaries: matching lengths, finite values,
+// Max >= Min everywhere.
+func (c *Calibration) Valid(layers int) bool {
+	if c == nil || len(c.Min) != layers+1 || len(c.Max) != layers+1 {
+		return false
+	}
+	for i := range c.Min {
+		lo, hi := c.Min[i], c.Max[i]
+		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) || hi < lo {
+			return false
+		}
+	}
+	return true
+}
+
+// Calibrate runs eval-mode forward passes over xs on a private view of
+// net and records the min/max activation at every layer boundary. The
+// set should be the training inputs (or a representative sample); inputs
+// outside the observed ranges saturate in the quantized engine, which is
+// the standard post-training-quantization trade.
+func Calibrate(net *Network, xs [][]float64) (*Calibration, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("%w: empty calibration set", ErrNoCalibration)
+	}
+	clone := net.CloneShared()
+	nb := len(clone.layers) + 1
+	c := &Calibration{Min: make([]float64, nb), Max: make([]float64, nb)}
+	for i := range c.Min {
+		c.Min[i] = math.Inf(1)
+		c.Max[i] = math.Inf(-1)
+	}
+	for _, x := range xs {
+		if len(x) != net.InputDim() {
+			return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), net.InputDim())
+		}
+		t := &tensor.T{Shape: append([]int(nil), clone.inShape...), Data: append([]float64(nil), x...)}
+		c.observe(0, t.Data)
+		for i, l := range clone.layers {
+			t = l.Forward(t, false)
+			c.observe(i+1, t.Data)
+		}
+	}
+	if !c.Valid(len(clone.layers)) {
+		return nil, fmt.Errorf("%w: non-finite activations during calibration", ErrNoCalibration)
+	}
+	return c, nil
+}
+
+func (c *Calibration) observe(b int, vals []float64) {
+	lo, hi := c.Min[b], c.Max[b]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	c.Min[b], c.Max[b] = lo, hi
+}
+
+// qParams is one per-tensor affine quantization code: real value v maps
+// to q = zp + round(v/scale), clamped to int8. The range is always
+// widened to include zero, so zero padding and the ReLU threshold are
+// exactly representable (q == zp) and zp itself fits in int8.
+type qParams struct {
+	scale float64
+	zp    int32
+}
+
+// affineParams derives the code for an observed [lo, hi] range.
+func affineParams(lo, hi float64) qParams {
+	if lo > 0 {
+		lo = 0
+	}
+	if hi < 0 {
+		hi = 0
+	}
+	if hi-lo < 1e-9 {
+		hi = lo + 1e-9
+	}
+	s := (hi - lo) / 255
+	zp := int32(-128) - iround32(lo/s)
+	if zp > 127 {
+		zp = 127
+	} else if zp < -128 {
+		zp = -128
+	}
+	return qParams{scale: s, zp: zp}
+}
+
+// iround32 rounds half away from zero — the one rounding mode used
+// everywhere in the quantized path, so results are deterministic.
+func iround32(x float64) int32 {
+	if x >= 0 {
+		return int32(x + 0.5)
+	}
+	return int32(x - 0.5)
+}
+
+// quantize maps a real value into the code, saturating at the int8
+// limits. The clamp happens in float space so wildly out-of-range inputs
+// (far beyond the calibrated range) saturate to the correct end instead
+// of hitting implementation-defined float→int conversion.
+func (p qParams) quantize(v float64) int8 {
+	qf := float64(p.zp) + v/p.scale
+	if qf <= -128 {
+		return -128
+	}
+	if qf >= 127 {
+		return 127
+	}
+	return int8(iround32(qf))
+}
+
+// maxQuantTaps bounds the reduction depth of one quantized MAC output
+// (cin*k for Conv1D, in for Dense) so int32 accumulation cannot
+// overflow: taps*255*255 + |bias| ≤ 16000*65025 + 2^30 < 2^31-1.
+// Tensors deeper than this are rejected at compile time.
+const maxQuantTaps = 16000
+
+// quantBias quantizes a bias to the accumulator scale, saturating at
+// ±2^30 — a bias that large saturates the int8 output anyway, and the
+// cap preserves the no-overflow argument above.
+func quantBias(v float64) int32 {
+	const limit = 1 << 30
+	r := math.Round(v)
+	if r >= limit {
+		return limit
+	}
+	if r <= -limit {
+		return -limit
+	}
+	return int32(r)
+}
+
+// requant rescales an integer accumulator into an output code.
+func requant(acc int32, m float64, zp int32) int8 {
+	qf := float64(zp) + float64(acc)*m
+	if qf <= -128 {
+		return -128
+	}
+	if qf >= 127 {
+		return 127
+	}
+	return int8(iround32(qf))
+}
+
+// quantizeWeights computes the per-tensor affine code for one weight
+// tensor and returns the pre-centered levels wc = q - zp (at most 256
+// distinct values spanning ≤ [-255, 255] — 8 bits of information per
+// weight, held in int16 so the MAC kernels skip the per-product
+// zero-point correction entirely).
+func quantizeWeights(w []float64) (wc []int16, scale float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range w {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	p := affineParams(lo, hi)
+	wc = make([]int16, len(w))
+	for i, v := range w {
+		q := int32(p.quantize(v))
+		wc[i] = int16(q - p.zp)
+	}
+	return wc, p.scale
+}
+
+// qOp is one stage of the compiled int8 pipeline. Ops read and write the
+// workspace's int8 activation buffer in place (every MAC fully drains
+// its input into the centered scratch before overwriting the buffer).
+type qOp interface {
+	run(ws *QuantWS)
+}
+
+// quantRelu clamps the first n activations at the zero point — exactly
+// ReLU, because value 0 quantizes to q == zp.
+type quantRelu struct {
+	n  int
+	zp int8
+}
+
+func (r *quantRelu) run(ws *QuantWS) {
+	buf := ws.buf[:r.n]
+	for i, v := range buf {
+		if v < r.zp {
+			buf[i] = r.zp
+		}
+	}
+}
+
+// quantPool is MaxPool1D on codes: quantization is monotone, so the max
+// of codes is the code of the max. It compacts rows in place (write
+// offsets never pass read offsets).
+type quantPool struct {
+	rows, cols, size int
+}
+
+func (q *quantPool) run(ws *QuantWS) {
+	lout := q.cols / q.size
+	buf := ws.buf
+	for r := 0; r < q.rows; r++ {
+		in := r * q.cols
+		out := r * lout
+		for t := 0; t < lout; t++ {
+			base := in + t*q.size
+			best := buf[base]
+			for j := 1; j < q.size; j++ {
+				if buf[base+j] > best {
+					best = buf[base+j]
+				}
+			}
+			buf[out+t] = best
+		}
+	}
+}
+
+// quantConv is Conv1D on codes: centered int16 weights transposed to
+// (ci, tap, o) so the innermost loop runs contiguously over output
+// channels, int32 accumulation, and a per-tensor requantization into the
+// next MAC layer's input code. The position-major loop skips input
+// positions whose centered value is zero — post-ReLU activations are
+// exactly zero in code space, so on real traffic a large fraction of the
+// multiply-accumulate work disappears (the float engine has no analogous
+// cheap test on its hot path). Zero padding falls out of the bounds
+// check: a padded tap contributes q == zp, i.e. centered 0.
+type quantConv struct {
+	cin, cout, k, pad, lin, lout int
+	wt                           []int16 // (ci*k + j)*cout + o
+	bias                         []int32
+	inZP                         int32
+	m                            float64 // sIn*sW/sOut
+	outZP                        int32
+}
+
+func (c *quantConv) run(ws *QuantWS) {
+	n := c.cin * c.lin
+	xc := ws.xc[:n]
+	buf := ws.buf
+	for i := 0; i < n; i++ {
+		xc[i] = int16(int32(buf[i]) - c.inZP)
+	}
+	acc := ws.acc[:c.lout*c.cout]
+	for t := 0; t < c.lout; t++ {
+		copy(acc[t*c.cout:(t+1)*c.cout], c.bias)
+	}
+	cout := c.cout
+	for ci := 0; ci < c.cin; ci++ {
+		xRow := xc[ci*c.lin : (ci+1)*c.lin]
+		wBase := ci * c.k * cout
+		for p, v16 := range xRow {
+			if v16 == 0 {
+				continue
+			}
+			v := int32(v16)
+			for j := 0; j < c.k; j++ {
+				t := p + c.pad - j
+				if t < 0 || t >= c.lout {
+					continue
+				}
+				// Equal-length reslices so the compiler can prove the
+				// indexed accesses below in-bounds and drop the checks.
+				aRow := acc[t*cout : t*cout+cout]
+				wRow := c.wt[wBase+j*cout:]
+				wRow = wRow[:len(aRow)]
+				for o, w := range wRow {
+					aRow[o] += v * int32(w)
+				}
+			}
+		}
+	}
+	// Requantize from the (t, o) accumulator layout back into the
+	// canonical (channel, position) activation layout.
+	for o := 0; o < c.cout; o++ {
+		out := buf[o*c.lout : (o+1)*c.lout]
+		for t := 0; t < c.lout; t++ {
+			out[t] = requant(acc[t*c.cout+o], c.m, c.outZP)
+		}
+	}
+}
+
+// quantDense is Dense on codes with the same layout tricks as quantConv:
+// weights transposed to (i, o), zero-input skipping, int32 accumulation.
+// The final Dense dequantizes straight to float64 logits instead of
+// requantizing — softmax stays in float, which costs nothing and removes
+// one quantization step from the most accuracy-sensitive tensor.
+type quantDense struct {
+	in, out  int
+	wt       []int16 // i*out + o
+	bias     []int32
+	inZP     int32
+	m        float64 // sIn*sW/sOut (requant mode)
+	outZP    int32
+	dequant  bool
+	scaleOut float64 // sIn*sW (dequant mode)
+}
+
+func (d *quantDense) run(ws *QuantWS) {
+	xc := ws.xc[:d.in]
+	buf := ws.buf
+	for i := 0; i < d.in; i++ {
+		xc[i] = int16(int32(buf[i]) - d.inZP)
+	}
+	acc := ws.acc[:d.out]
+	copy(acc, d.bias)
+	for i, v16 := range xc {
+		if v16 == 0 {
+			continue
+		}
+		v := int32(v16)
+		wRow := d.wt[i*d.out : (i+1)*d.out]
+		wRow = wRow[:len(acc)]
+		for o, w := range wRow {
+			acc[o] += v * int32(w)
+		}
+	}
+	if d.dequant {
+		for o, a := range acc {
+			ws.logits[o] = float64(a) * d.scaleOut
+		}
+		return
+	}
+	for o, a := range acc {
+		buf[o] = requant(a, d.m, d.outZP)
+	}
+}
+
+// QuantModel is a network compiled to the int8 inference pipeline:
+// per-tensor affine weight quantization (pre-centered int16 levels,
+// scale + zero point), activation codes calibrated from a training-set
+// pass, integer MACs with a single float rescale per output element, and
+// float64 logits/softmax at the very end. It holds only immutable
+// compiled state and is safe for concurrent use; execution state lives
+// in per-goroutine QuantWS instances (NewWS).
+//
+// The compiler requantizes each MAC layer's output directly into the
+// *next* MAC layer's input code. The ReLU/MaxPool/Dropout/Flatten ops in
+// between are monotone or identity in code space, so they run on int8
+// without rescaling, and clipping pre-ReLU negatives to the next code's
+// floor is exact: ReLU raises them to the zero point (true 0) anyway.
+type QuantModel struct {
+	inDim    int
+	nClasses int
+	inQ      qParams
+	ops      []qOp
+	bufN     int // int8 activation buffer size (max boundary)
+	xcN      int // centered-input scratch size (max MAC input)
+	accN     int // accumulator size (max MAC output elements)
+}
+
+// Quantize compiles net into an int8 QuantModel using the given
+// calibration (see Calibrate). The last MAC layer must be a Dense and
+// must be the last non-identity layer — true of PaperCNN and SmallMLP —
+// otherwise ErrQuantUnsupported is returned.
+func Quantize(net *Network, calib *Calibration) (*QuantModel, error) {
+	if !calib.Valid(len(net.layers)) {
+		return nil, fmt.Errorf("%w: want %d boundary ranges", ErrNoCalibration, len(net.layers)+1)
+	}
+	shapes := boundaryShapes(net)
+	size := func(shape []int) int {
+		n := 1
+		for _, s := range shape {
+			n *= s
+		}
+		return n
+	}
+	isMAC := func(l Layer) bool {
+		switch l.(type) {
+		case *Conv1D, *Dense:
+			return true
+		}
+		return false
+	}
+	nextMAC := func(from int) int {
+		for j := from; j < len(net.layers); j++ {
+			if isMAC(net.layers[j]) {
+				return j
+			}
+		}
+		return -1
+	}
+
+	m := &QuantModel{inDim: net.InputDim(), nClasses: net.nClasses}
+	m.inQ = affineParams(calib.Min[0], calib.Max[0])
+	cur := m.inQ
+	dequantized := false
+	for i, l := range net.layers {
+		if dequantized {
+			return nil, fmt.Errorf("%w: layer %s follows the dequantizing Dense", ErrQuantUnsupported, l.Name())
+		}
+		if n := size(shapes[i]); n > m.bufN {
+			m.bufN = n
+		}
+		switch v := l.(type) {
+		case *Dropout, *Flatten:
+			// Identity at eval time / pure reshape on the flat buffer.
+		case *ReLU:
+			m.ops = append(m.ops, &quantRelu{n: size(shapes[i]), zp: int8(cur.zp)})
+		case *MaxPool1D:
+			if len(shapes[i]) != 2 {
+				return nil, fmt.Errorf("%w: %s on %v input", ErrQuantUnsupported, l.Name(), shapes[i])
+			}
+			m.ops = append(m.ops, &quantPool{rows: shapes[i][0], cols: shapes[i][1], size: v.size})
+		case *Conv1D:
+			j := nextMAC(i + 1)
+			if j < 0 {
+				return nil, fmt.Errorf("%w: final MAC layer %s is a Conv1D, want Dense", ErrQuantUnsupported, l.Name())
+			}
+			if v.cin*v.k > maxQuantTaps {
+				return nil, fmt.Errorf("%w: %s has %d taps per output, max %d for int32 accumulation",
+					ErrQuantUnsupported, l.Name(), v.cin*v.k, maxQuantTaps)
+			}
+			wc, sw := quantizeWeights(v.w.W)
+			outQ := affineParams(calib.Min[j], calib.Max[j])
+			lin := shapes[i][1]
+			op := &quantConv{
+				cin: v.cin, cout: v.cout, k: v.k, pad: v.pad(),
+				lin: lin, lout: v.OutLen(lin),
+				wt:   make([]int16, len(wc)),
+				bias: make([]int32, v.cout),
+				inZP: cur.zp,
+				m:    cur.scale * sw / outQ.scale,
+				outZP: outQ.zp,
+			}
+			for o := 0; o < v.cout; o++ {
+				for ci := 0; ci < v.cin; ci++ {
+					for t := 0; t < v.k; t++ {
+						op.wt[(ci*v.k+t)*v.cout+o] = wc[(o*v.cin+ci)*v.k+t]
+					}
+				}
+			}
+			for o, b := range v.b.W {
+				op.bias[o] = quantBias(b / (cur.scale * sw))
+			}
+			if n := v.cin * lin; n > m.xcN {
+				m.xcN = n
+			}
+			if n := op.lout * v.cout; n > m.accN {
+				m.accN = n
+			}
+			m.ops = append(m.ops, op)
+			cur = outQ
+		case *Dense:
+			if v.in > maxQuantTaps {
+				return nil, fmt.Errorf("%w: %s has %d taps per output, max %d for int32 accumulation",
+					ErrQuantUnsupported, l.Name(), v.in, maxQuantTaps)
+			}
+			wc, sw := quantizeWeights(v.w.W)
+			op := &quantDense{
+				in: v.in, out: v.out,
+				wt:   make([]int16, len(wc)),
+				bias: make([]int32, v.out),
+				inZP: cur.zp,
+			}
+			for o := 0; o < v.out; o++ {
+				for in := 0; in < v.in; in++ {
+					op.wt[in*v.out+o] = wc[o*v.in+in]
+				}
+			}
+			for o, b := range v.b.W {
+				op.bias[o] = quantBias(b / (cur.scale * sw))
+			}
+			if j := nextMAC(i + 1); j >= 0 {
+				outQ := affineParams(calib.Min[j], calib.Max[j])
+				op.m = cur.scale * sw / outQ.scale
+				op.outZP = outQ.zp
+				cur = outQ
+			} else {
+				op.dequant = true
+				op.scaleOut = cur.scale * sw
+				dequantized = true
+			}
+			if v.in > m.xcN {
+				m.xcN = v.in
+			}
+			if v.out > m.accN {
+				m.accN = v.out
+			}
+			m.ops = append(m.ops, op)
+		default:
+			return nil, fmt.Errorf("%w: layer %s (%T)", ErrQuantUnsupported, l.Name(), l)
+		}
+	}
+	if !dequantized {
+		return nil, fmt.Errorf("%w: no final Dense layer", ErrQuantUnsupported)
+	}
+	if n := size(shapes[len(shapes)-1]); n > m.bufN {
+		m.bufN = n
+	}
+	return m, nil
+}
+
+// boundaryShapes probes the activation shape at every layer boundary by
+// running a zero tensor through a private view.
+func boundaryShapes(net *Network) [][]int {
+	clone := net.CloneShared()
+	shapes := make([][]int, 0, len(net.layers)+1)
+	t := tensor.New(net.inShape...)
+	shapes = append(shapes, append([]int(nil), t.Shape...))
+	for _, l := range clone.layers {
+		t = l.Forward(t, false)
+		shapes = append(shapes, append([]int(nil), t.Shape...))
+	}
+	return shapes
+}
+
+// NumClasses returns the logit dimension.
+func (m *QuantModel) NumClasses() int { return m.nClasses }
+
+// InputDim returns the flat input dimension.
+func (m *QuantModel) InputDim() int { return m.inDim }
+
+// NewWS returns a fresh execution workspace over the model. Workspaces
+// are cheap (a few KiB of integer buffers) and not safe for concurrent
+// use; the model itself is shared freely.
+func (m *QuantModel) NewWS() *QuantWS {
+	accN := m.accN
+	if accN == 0 {
+		accN = 1
+	}
+	return &QuantWS{
+		m:      m,
+		buf:    make([]int8, m.bufN),
+		xc:     make([]int16, m.xcN),
+		acc:    make([]int32, accN),
+		logits: make([]float64, m.nClasses),
+		probs:  make([]float64, m.nClasses),
+	}
+}
+
+// QuantWS executes a QuantModel with zero steady-state allocations. Like
+// *Workspace, slices returned by Logits/Probs alias internal buffers and
+// are valid until the next call; SafeProbs returns a fresh slice.
+type QuantWS struct {
+	m      *QuantModel
+	buf    []int8
+	xc     []int16
+	acc    []int32
+	logits []float64
+	probs  []float64
+}
+
+// Model returns the compiled model this workspace executes.
+func (ws *QuantWS) Model() *QuantModel { return ws.m }
+
+// NumClasses returns the logit dimension.
+func (ws *QuantWS) NumClasses() int { return ws.m.nClasses }
+
+// InputDim returns the flat input dimension.
+func (ws *QuantWS) InputDim() int { return ws.m.inDim }
+
+func (ws *QuantWS) forward(x []float64) {
+	inQ := ws.m.inQ
+	inv := 1 / inQ.scale
+	zp := float64(inQ.zp)
+	for i := 0; i < ws.m.inDim; i++ {
+		qf := zp + x[i]*inv
+		switch {
+		case qf <= -128:
+			ws.buf[i] = -128
+		case qf >= 127:
+			ws.buf[i] = 127
+		default:
+			ws.buf[i] = int8(iround32(qf))
+		}
+	}
+	for _, op := range ws.m.ops {
+		op.run(ws)
+	}
+}
+
+// Logits runs the quantized forward pass and returns the dequantized
+// float64 logits (aliasing an internal buffer).
+func (ws *QuantWS) Logits(x []float64) []float64 {
+	ws.forward(x)
+	return ws.logits
+}
+
+// Probs returns the softmax class probabilities (aliasing an internal
+// buffer). The softmax itself runs in float64 on dequantized logits.
+func (ws *QuantWS) Probs(x []float64) []float64 {
+	return SoftmaxInto(ws.probs, ws.Logits(x))
+}
+
+// Predict returns the argmax class.
+func (ws *QuantWS) Predict(x []float64) int { return Argmax(ws.Logits(x)) }
+
+// SafeProbs is the serving-path variant of Probs: dimension validated up
+// front, panics recovered as ErrBadInput, result in a fresh slice.
+func (ws *QuantWS) SafeProbs(x []float64) (out []float64, err error) {
+	if len(x) != ws.m.inDim {
+		return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), ws.m.inDim)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%w: layer panic: %v", ErrBadInput, r)
+		}
+	}()
+	return append([]float64(nil), ws.Probs(x)...), nil
+}
+
+// ProbsBatch runs eval-mode probabilities for every row of xs into dst
+// (grown as needed and returned), mirroring Workspace.ProbsBatch. The
+// quantized path stays row-major even for large batches: the entire
+// compiled weight set is a few hundred KiB of int16 and lives in cache,
+// so there is no weight-streaming cost for batch-major execution to
+// amortize.
+func (ws *QuantWS) ProbsBatch(xs [][]float64, dst [][]float64) [][]float64 {
+	dst = growRows(dst, len(xs), ws.m.nClasses)
+	for r, x := range xs {
+		copy(dst[r], ws.Probs(x))
+	}
+	return dst
+}

@@ -1,16 +1,19 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
 )
 
-// oracleFit replicates the trainer's pre-workspace algorithm exactly —
-// allocating Forward/SoftmaxCE/Backward on per-worker CloneShared views
-// with the strided worker binding, fixed-order gradient reduction, and
-// the same optimizer stepping — so TestTrainerWorkspaceParity can pin the
-// workspace-backed Trainer to byte-identical weights.
+// oracleFit replicates the trainer's algorithm on the allocating oracle
+// path — Forward/SoftmaxCE/Backward on per-worker CloneShared views with
+// the strided worker binding, the fixed pairwise-tree gradient reduction
+// with fused zeroing (serially, whole tensors at a time: the trainer's
+// element-range chunking only distributes disjoint work and cannot
+// change any bit), and the same optimizer stepping — so the parity tests
+// can pin the workspace-backed Trainer to byte-identical weights.
 func oracleFit(net *Network, x [][]float64, y []int, seed int64, epochs, batch, workers int, classWeights []float64) {
 	rng := rand.New(rand.NewSource(seed))
 	clones := make([]*Network, workers)
@@ -32,11 +35,10 @@ func oracleFit(net *Network, x [][]float64, y []int, seed int64, epochs, batch, 
 				end = len(idx)
 			}
 			chunk := idx[start:end]
-			for _, c := range clones {
-				c.ZeroGrad()
-			}
 			// The pool binds item k to worker k%workers and each worker
 			// processes its items in ascending k; replicate serially.
+			// (No per-batch ZeroGrad: the tree reduction below zeroes
+			// every accumulator it consumes, and fresh clones start zero.)
 			for w := 0; w < workers; w++ {
 				for k := w; k < len(chunk); k += workers {
 					c := clones[w]
@@ -52,16 +54,26 @@ func oracleFit(net *Network, x [][]float64, y []int, seed int64, epochs, batch, 
 					c.Backward(dLogits)
 				}
 			}
-			for pi, p := range params {
-				for w := 0; w < workers; w++ {
-					cg := clones[w].Params()[pi].G
-					for j := range p.G {
-						p.G[j] += cg[j]
+			for stride := 1; stride < workers; stride *= 2 {
+				for a := 0; a+stride < workers; a += 2 * stride {
+					ap, bp := clones[a].Params(), clones[a+stride].Params()
+					for pi := range params {
+						dst, src := ap[pi].G, bp[pi].G
+						for j := range dst {
+							dst[j] += src[j]
+							src[j] = 0
+						}
 					}
 				}
 			}
+			for pi, p := range params {
+				root := clones[0].Params()[pi].G
+				for j := range p.G {
+					p.G[j] = root[j]
+					root[j] = 0
+				}
+			}
 			opt.Step(params, float64(len(chunk)))
-			net.ZeroGrad()
 		}
 	}
 }
@@ -97,5 +109,74 @@ func TestTrainerWorkspaceParity(t *testing.T) {
 					tp[pi].Name, j, tp[pi].W[j], op[pi].W[j])
 			}
 		}
+	}
+}
+
+// requireSameWeights asserts two trained networks carry bit-identical
+// weights.
+func requireSameWeights(t *testing.T, label string, a, b *Network) {
+	t.Helper()
+	ap, bp := a.Params(), b.Params()
+	for pi := range ap {
+		for j := range ap[pi].W {
+			if math.Float64bits(ap[pi].W[j]) != math.Float64bits(bp[pi].W[j]) {
+				t.Fatalf("%s: param %s[%d]: %v vs %v",
+					label, ap[pi].Name, j, ap[pi].W[j], bp[pi].W[j])
+			}
+		}
+	}
+}
+
+// TestTrainerReductionParityWorkers pins the chunked parallel tree
+// reduction to byte-identical final weights against the serial oracle at
+// every worker width the tree exercises differently: the degenerate
+// single-clone fold, the one-level tree, and the two-level tree whose
+// chunks genuinely race across pool workers. A scheduling-order
+// dependence anywhere in the reduction fails this test.
+func TestTrainerReductionParityWorkers(t *testing.T) {
+	const seed, epochs, batch = 42, 2, 16
+	x, y := blobs(5, 40, PaperInputLen)
+	weights := []float64{1.0, 2.5}
+
+	for _, workers := range []int{1, 2, 4} {
+		trained := PaperCNN(11)
+		tr := &Trainer{
+			Epochs: epochs, BatchSize: batch, Seed: seed, Workers: workers,
+			ClassWeights: weights,
+		}
+		if _, err := tr.Fit(trained, x, y); err != nil {
+			t.Fatalf("workers=%d: Fit: %v", workers, err)
+		}
+
+		oracle := PaperCNN(11)
+		oracleFit(oracle, x, y, seed, epochs, batch, workers, weights)
+		requireSameWeights(t, fmt.Sprintf("workers=%d", workers), trained, oracle)
+	}
+}
+
+// TestSerialReductionAgreesBelowThreeWorkers checks the documented
+// contract on Trainer.SerialReduction: for one and two workers the
+// pairwise tree and the serial sweep perform the same floating-point
+// additions in the same order, so the two paths must produce
+// bit-identical weights. (From three workers up they legitimately
+// diverge in summation order only.)
+func TestSerialReductionAgreesBelowThreeWorkers(t *testing.T) {
+	const seed, epochs, batch = 7, 2, 16
+	x, y := blobs(9, 32, PaperInputLen)
+
+	for _, workers := range []int{1, 2} {
+		tree := PaperCNN(13)
+		tr := &Trainer{Epochs: epochs, BatchSize: batch, Seed: seed, Workers: workers}
+		if _, err := tr.Fit(tree, x, y); err != nil {
+			t.Fatalf("workers=%d: tree Fit: %v", workers, err)
+		}
+
+		serial := PaperCNN(13)
+		ts := &Trainer{Epochs: epochs, BatchSize: batch, Seed: seed, Workers: workers,
+			SerialReduction: true}
+		if _, err := ts.Fit(serial, x, y); err != nil {
+			t.Fatalf("workers=%d: serial Fit: %v", workers, err)
+		}
+		requireSameWeights(t, fmt.Sprintf("serial-vs-tree workers=%d", workers), tree, serial)
 	}
 }

@@ -38,6 +38,16 @@ type Config struct {
 	// NewEngine overrides the per-worker inference engine; nil borrows
 	// detector workspaces. Tests use it to inject fakes.
 	NewEngine func() BatchEngine
+	// Quantize routes bulk traffic to the detector's int8 quantized
+	// model, escalating borderline rows to the float engine (see Band).
+	// Requires a detector with calibration ranges — New fails fast
+	// otherwise. Ignored when NewEngine is set.
+	Quantize bool
+	// Band is the escalation band for the quantized tier: a row whose
+	// quantized top-two probability margin is below Band re-runs on the
+	// float engine. Default 0.2; negative disables escalation (pure
+	// quantized serving). Only meaningful with Quantize.
+	Band float64
 	// Corpus, when non-nil, arms the similarity layer: /v1/similar
 	// (k-NN family attribution over the labeled training corpus) and
 	// the triage block on classify verdicts. Load one with index.Load
@@ -63,6 +73,11 @@ type Server struct {
 
 // defaultWindow is the default coalescing window.
 const defaultWindow = 2 * time.Millisecond
+
+// defaultBand is the default quantized-tier escalation band, matching
+// the margin at which the nn property tests pin quant/float argmax
+// agreement.
+const defaultBand = 0.2
 
 // New builds the server and starts its batcher workers.
 func New(cfg Config) (*Server, error) {
@@ -93,7 +108,24 @@ func New(cfg Config) (*Server, error) {
 	newEngine := cfg.NewEngine
 	if newEngine == nil {
 		det := cfg.Detector
-		newEngine = func() BatchEngine { return det.AcquireWS() }
+		if cfg.Quantize {
+			qm, err := det.Quantized()
+			if err != nil {
+				return nil, fmt.Errorf("serve: quantized tier: %w", err)
+			}
+			band := cfg.Band
+			if band == 0 {
+				band = defaultBand
+			} else if band < 0 {
+				band = 0
+			}
+			metrics := s.metrics
+			newEngine = func() BatchEngine {
+				return newTieredEngine(qm.NewWS(), det.AcquireWS(), band, metrics)
+			}
+		} else {
+			newEngine = func() BatchEngine { return det.AcquireWS() }
+		}
 	}
 	if cfg.Chaos != nil {
 		inner := newEngine
