@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short race-train quant-parity bench-train bench-train-short
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short race-train quant-parity bench-train bench-train-short race-lifecycle swap-smoke bench-swap bench-swap-short
 
 build:
 	$(GO) build ./...
@@ -172,4 +172,34 @@ bench-train:
 bench-train-short:
 	$(GO) run ./cmd/bench -suite train -short -o /tmp/BENCH_train.short.json
 
-check: build race race-fused race-nn race-serve race-gateway race-index race-train quant-parity serve-smoke gateway-smoke index-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short bench-train-short
+# The Model/Handle split and online-retraining loop under the race
+# detector: the swap-under-Classify-load attribution test (per-Model
+# workspace pools), the HTTP-layer hot-swap/admin/metrics tests, the
+# persistence compatibility pins, and the lifecycle package (stream
+# determinism, canary gate selectivity, retrainer cycles).
+race-lifecycle:
+	$(GO) test -race -timeout 1800s -run 'HandleSwap|LegacyEnvelope|LegacyDecoder|LegacyCorrupt' ./internal/core/
+	$(GO) test -race -timeout 1800s -run 'AdminSwap|SwapMetrics|SwapUnderLoad' ./internal/serve/
+	$(GO) test -race -timeout 1800s ./internal/lifecycle/
+
+# End-to-end smoke of the hot-swap lifecycle: serve -admin on an
+# ephemeral port, continuous no-error-tolerated load, retrain trains +
+# canaries + swaps a candidate in over /admin/swap, /metrics reports the
+# new version, and the load that spanned the swap exits clean
+# (DESIGN.md §13).
+swap-smoke:
+	sh scripts/swap_smoke.sh
+
+# Refresh the committed hot-swap overhead snapshot: saturated handle-
+# engine throughput with no swaps vs snapshots installed every
+# 100ms/10ms, zero request errors required. See EXPERIMENTS.md
+# §Benchmark snapshots.
+bench-swap:
+	$(GO) run ./cmd/bench -suite swap -o BENCH_swap.json
+
+# Smoke-run the swap suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-swap.
+bench-swap-short:
+	$(GO) run ./cmd/bench -suite swap -short -o /tmp/BENCH_swap.short.json
+
+check: build race race-fused race-nn race-serve race-gateway race-index race-train quant-parity race-lifecycle serve-smoke gateway-smoke index-smoke swap-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short bench-train-short bench-swap-short

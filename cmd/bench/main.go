@@ -35,10 +35,14 @@
 //	  with real compute, plus the int8 quantized engine vs the float64
 //	  workspace and its Table I accuracy fidelity. Snapshot:
 //	  BENCH_train.json.
+//	swap — hot-swap overhead on the serving path: saturated handle-engine
+//	  throughput with no swaps vs snapshots installed every 100ms/10ms,
+//	  asserting zero request errors across every swap. Snapshot:
+//	  BENCH_swap.json.
 //
 // Usage:
 //
-//	go run ./cmd/bench [-suite extract|nn|serve|gateway|index|train] [-short] [-o FILE]
+//	go run ./cmd/bench [-suite extract|nn|serve|gateway|index|train|swap] [-short] [-o FILE]
 //
 // -short trims sizes and skips the trained-detector benches; the
 // Makefile `check` target runs both suites as smoke tests, while `make
@@ -169,8 +173,10 @@ func main() {
 		indexSuite(h, *short)
 	case "train":
 		trainSuite(h, *short)
+	case "swap":
+		swapSuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, index, or train)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, index, train, or swap)", *suite))
 	}
 
 	finish(h, *out)

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/features"
+	"advmal/internal/nn"
+	"advmal/internal/serve"
+)
+
+// swapSuite measures what a hot swap costs the serving path. The handle
+// engine re-binds to the current Model snapshot per batch, so the steady
+// row (no swaps ever) is the zero-overhead baseline; the swap rows keep
+// the same saturated client load while a background goroutine installs a
+// fresh snapshot every interval. The claims under test: throughput under
+// continuous swapping stays near steady-state (the re-bind is one
+// pointer compare per batch), and not a single request errors — zero
+// dropped requests is the tentpole guarantee, measured here in-process
+// and in scripts/swap_smoke.sh over HTTP.
+func swapSuite(h *harness, short bool) {
+	det := serveDetector()
+	rawVecs := serveVectors(det, 64)
+
+	parallel := 64
+	if short {
+		parallel = 16
+	}
+	cfg := serve.BatcherConfig{BatchSize: 64, Window: 2 * time.Millisecond, QueueDepth: 4096}
+
+	steady := swapThroughputRow(h, "swap/steady", parallel, rawVecs, cfg, 0)
+	every100 := swapThroughputRow(h, "swap/every-100ms", parallel, rawVecs, cfg, 100*time.Millisecond)
+	every10 := swapThroughputRow(h, "swap/every-10ms", parallel, rawVecs, cfg, 10*time.Millisecond)
+
+	h.snap.Speedups["swap-steady-vs-100ms-swaps"] = ratio(steady, every100)
+	h.snap.Speedups["swap-steady-vs-10ms-swaps"] = ratio(steady, every10)
+}
+
+// ratio returns baseline/candidate ns/op (>1 = candidate faster; for the
+// swap suite ~1.0 means swapping costs nothing).
+func ratio(base, cand Result) float64 {
+	if cand.NsPerOp == 0 {
+		return 0
+	}
+	return base.NsPerOp / cand.NsPerOp
+}
+
+// swapThroughputRow drives saturated closed-loop clients through a
+// handle-backed batcher while snapshots swap in at the given interval
+// (0 = never). Any Submit error fails the bench — a hot swap must not
+// surface to a single request.
+func swapThroughputRow(h *harness, name string, parallel int, rawVecs [][]float64, cfg serve.BatcherConfig, every time.Duration) Result {
+	freshModel := func(seed int64) *core.Model {
+		min := make([]float64, features.NumFeatures)
+		max := make([]float64, features.NumFeatures)
+		for i := range max {
+			max[i] = 1
+		}
+		return &core.Model{
+			Scaler:    &features.Scaler{Min: min, Max: max},
+			Net:       nn.PaperCNN(seed),
+			Extractor: features.NewExtractor(0),
+		}
+	}
+	handle := core.NewHandle(freshModel(0))
+	cfg.NewEngine = func() serve.BatchEngine { return serve.NewHandleEngine(handle, false, 0, nil) }
+	b := serve.NewBatcher(cfg)
+	defer b.Close()
+
+	done := make(chan struct{})
+	swapsDone := make(chan uint64, 1)
+	if every > 0 {
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			var n uint64
+			for {
+				select {
+				case <-done:
+					swapsDone <- n
+					return
+				case <-tick.C:
+					if _, err := handle.Swap(freshModel(int64(n%2) + 1)); err != nil {
+						fatal(err)
+					}
+					n++
+				}
+			}
+		}()
+	}
+
+	var rr atomic.Int64
+	res := h.run(name, func(tb *testing.B) {
+		tb.SetParallelism(parallel)
+		tb.RunParallel(func(pb *testing.PB) {
+			ctx := context.Background()
+			for pb.Next() {
+				x := rawVecs[int(rr.Add(1))%len(rawVecs)]
+				if _, err := b.Submit(ctx, x); err != nil {
+					tb.Errorf("request failed during hot swap: %v", err)
+					return
+				}
+			}
+		})
+	})
+	close(done)
+	addMetric(h, name, "clients", float64(parallel))
+	if res.NsPerOp > 0 {
+		addMetric(h, name, "req_per_sec", 1e9/res.NsPerOp)
+	}
+	if every > 0 {
+		swaps := <-swapsDone
+		addMetric(h, name, "swaps_performed", float64(swaps))
+		addMetric(h, name, "swap_interval_ms", float64(every)/1e6)
+	}
+	addMetric(h, name, "errors", 0) // tb.Error above aborts the run
+	return res
+}

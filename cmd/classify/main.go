@@ -188,7 +188,7 @@ func classifyOne(det *core.Detector, path string) (serve.Verdict, error) {
 	if err != nil {
 		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
 	}
-	v, err := serve.MakeVerdict(path, probs, blocks, edges, true)
+	v, err := serve.MakeVerdict(path, probs, blocks, edges, true, det.Version)
 	if err != nil {
 		return serve.Verdict{}, fmt.Errorf("%s: %w", path, err)
 	}

@@ -20,6 +20,9 @@
 //
 // Exit status is non-zero when any request failed (transport error or
 // non-200), unless -tolerate-errors is set — overload runs expect 429s.
+// -strict narrows the failure condition to transport errors and 5xx
+// (shed 4xx load passes), giving smoke scripts a machine-checkable
+// "zero dropped requests" assertion without report grepping.
 package main
 
 import (
@@ -83,6 +86,7 @@ func run() error {
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request client timeout")
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		tolerate = flag.Bool("tolerate-errors", false, "exit 0 even when requests failed (overload runs)")
+		strict   = flag.Bool("strict", false, "exit non-zero iff any request saw a transport error or 5xx; 4xx (shed load) is tolerated — smoke scripts use this instead of grepping reports")
 		chaos    = flag.String("chaos", "", "fault schedule: 'at=DUR,mode=MODE[,target=IDX|url=URL][,delay=DUR][,every=N];...'")
 	)
 	flag.Parse()
@@ -252,7 +256,22 @@ func run() error {
 			fmt.Printf("loadgen: chaos %s\n", ev)
 		}
 	}
-	if rep.Errors > 0 && !*tolerate {
+	if *strict {
+		// Strict mode cares about server failures only: transport errors
+		// and 5xx fail the run, 4xx (deliberately shed or rejected load)
+		// does not. Scripts assert "zero dropped requests" through this
+		// exit status instead of parsing the report.
+		hard := 0
+		for status, n := range rep.ByStatus {
+			if status == "transport_error" || (len(status) == 3 && status[0] == '5') {
+				hard += n
+			}
+		}
+		if hard > 0 {
+			return fmt.Errorf("strict: %d of %d requests hit transport errors or 5xx (by-status %v)",
+				hard, rep.Requests, rep.ByStatus)
+		}
+	} else if rep.Errors > 0 && !*tolerate {
 		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
 	}
 	if rep.Requests == 0 {

@@ -1,231 +1,23 @@
 package core
 
-import (
-	"bytes"
-	"encoding/gob"
-	"fmt"
-	"io"
-	"math"
-	"sync"
+import "io"
 
-	"advmal/internal/features"
-	"advmal/internal/ir"
-	"advmal/internal/nn"
-)
-
-// Detector is the deployable artefact: the fitted scaler plus the trained
-// CNN, everything needed to classify a new program without the corpus.
+// Detector is the pre-split name for the deployable snapshot. The type
+// was split into the immutable Model (scaler + weights + calibration +
+// version stamp + per-snapshot workspace pool) and the mutable serving
+// Handle; Detector remains as an alias so existing call sites and saved
+// artefacts keep working.
 //
-// A Detector is safe for concurrent use: Classify borrows a per-call
-// inference workspace from an internal pool of weight-sharing network
-// clones, so goroutines never contend on (or race over) shared
-// activation buffers. Mutating Net's weights while classifications are
-// in flight is the one excluded interleaving — deploy a new Detector
-// instead of retraining a live one.
-type Detector struct {
-	Scaler *features.Scaler
-	Net    *nn.Network
-	// Calib holds the per-boundary activation ranges observed on the
-	// training split, enabling the int8 quantized inference tier (see
-	// Quantized). Nil means no calibration pass ran — float-only serving.
-	// Persisted alongside the weights: a saved detector can serve the
-	// quantized tier without access to the training corpus.
-	Calib *nn.Calibration
-	// Extractor serves classification through the fused sweep engine and
-	// its content-keyed cache; nil uses features.Shared. Not persisted —
-	// the cache is derived state.
-	Extractor *features.Extractor
+// Deprecated: use Model (and Handle for the serving pointer).
+type Detector = Model
 
-	// ws pools inference workspaces over weight-sharing clones of Net.
-	// Lazily populated; the zero value is ready to use.
-	ws sync.Pool
-
-	// Lazily compiled quantized model (see Quantized).
-	quantOnce  sync.Once
-	quantModel *nn.QuantModel
-	quantErr   error
-}
-
-// AcquireWS borrows an inference workspace over a weight-sharing clone
-// of the detector's network. Callers that classify many vectors (the
-// serving batcher, the bench harness) hold one per worker; everyone else
-// goes through Classify, which borrows per call. Pair with ReleaseWS.
-func (d *Detector) AcquireWS() *nn.Workspace {
-	if v := d.ws.Get(); v != nil {
-		return v.(*nn.Workspace)
-	}
-	return d.Net.CloneShared().WS()
-}
-
-// ReleaseWS returns a workspace obtained from AcquireWS to the pool.
-func (d *Detector) ReleaseWS(w *nn.Workspace) { d.ws.Put(w) }
-
-// Quantized returns the int8 quantized model compiled from the
-// detector's network and calibration, building it once on first call.
-// It fails with nn.ErrNoCalibration when the detector carries no
-// activation ranges (an un-calibrated or pre-calibration save), and
-// with nn.ErrQuantUnsupported for architectures the int8 compiler
-// cannot express. The returned model is immutable and safe for
-// concurrent use; serving workers derive per-goroutine workspaces from
-// it with NewWS.
-func (d *Detector) Quantized() (*nn.QuantModel, error) {
-	d.quantOnce.Do(func() {
-		if d.Calib == nil {
-			d.quantErr = fmt.Errorf("core: quantized: %w: detector has no calibration ranges", nn.ErrNoCalibration)
-			return
-		}
-		m, err := nn.Quantize(d.Net, d.Calib)
-		if err != nil {
-			d.quantErr = fmt.Errorf("core: quantized: %w", err)
-			return
-		}
-		d.quantModel = m
-	})
-	return d.quantModel, d.quantErr
-}
-
-// Detector returns the system's deployable detector, sharing the
-// system's feature cache. When the training design matrix is still in
-// memory it also runs the activation-calibration pass over it, so the
-// detector (and any save of it) can serve the int8 quantized tier.
-func (s *System) Detector() (*Detector, error) {
-	if s.Net == nil {
-		return nil, ErrNotTrained
-	}
-	d := &Detector{Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor}
-	if len(s.TrainX) > 0 {
-		calib, err := nn.Calibrate(s.Net, s.TrainX)
-		if err != nil {
-			return nil, fmt.Errorf("core: calibrate: %w", err)
-		}
-		d.Calib = calib
-	}
-	return d, nil
-}
-
-// Classify runs the full pipeline on one untrusted program. Faults in
-// any stage — including a panic inside a network layer — come back as
-// errors, never crashes. Concurrent calls are race-clean: each borrows
-// its own pooled workspace for the inference step.
-func (d *Detector) Classify(prog *ir.Program) (int, []float64, error) {
-	scaled, _, _, err := d.Vectorize(prog)
-	if err != nil {
-		return 0, nil, err
-	}
-	w := d.AcquireWS()
-	probs, err := w.SafeProbs(scaled)
-	d.ReleaseWS(w)
-	if err != nil {
-		return 0, nil, fmt.Errorf("core: %w", err)
-	}
-	return nn.Argmax(probs), probs, nil
-}
-
-// Vectorize runs the pre-inference pipeline on one untrusted program —
-// disassemble, extract CFG features (through the cache), scale — and
-// returns the network-ready vector plus the CFG's basic-block and edge
-// counts for reporting. It is the shared front half of Classify and the
-// serving path, which batches the inference step separately.
-func (d *Detector) Vectorize(prog *ir.Program) (vec []float64, blocks, edges int, err error) {
-	cfg, err := ir.Disassemble(prog)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("core: %w", err)
-	}
-	g := cfg.G()
-	raw := d.Extractor.Extract(g)
-	scaled, err := d.Scaler.Transform(raw)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("core: %w", err)
-	}
-	return scaled, g.N(), g.M(), nil
-}
-
-// detectorEnvelope is the on-disk format: the scaler ranges plus the gob
-// weight snapshot produced by nn.Network.Save. CalibMin/CalibMax carry
-// the quantization calibration ranges; gob tolerates their absence in
-// both directions, so pre-calibration files load as float-only
-// detectors and calibrated files load under pre-calibration code.
-type detectorEnvelope struct {
-	Min, Max           []float64
-	Weights            []byte
-	CalibMin, CalibMax []float64
-}
-
-// Save writes the detector (scaler ranges + CNN weights + calibration
-// ranges when present). The architecture is code (PaperCNN), so only
-// parameters are persisted.
-func (d *Detector) Save(w io.Writer) error {
-	if d.Scaler == nil || !d.Scaler.Fitted() || d.Net == nil {
-		return fmt.Errorf("core: save: detector incomplete")
-	}
-	var env detectorEnvelope
-	env.Min = append([]float64(nil), d.Scaler.Min...)
-	env.Max = append([]float64(nil), d.Scaler.Max...)
-	if d.Calib != nil {
-		env.CalibMin = append([]float64(nil), d.Calib.Min...)
-		env.CalibMax = append([]float64(nil), d.Calib.Max...)
-	}
-	var buf bytes.Buffer
-	if err := d.Net.Save(&buf); err != nil {
-		return err
-	}
-	env.Weights = buf.Bytes()
-	if err := gob.NewEncoder(w).Encode(env); err != nil {
-		return fmt.Errorf("core: save detector: %w", err)
-	}
-	return nil
-}
-
-// LoadDetector restores a detector written by Save into a fresh PaperCNN.
+// LoadDetector restores a snapshot written by Save.
 //
-// It is hardened for serving: a corrupt, truncated, or trailing-garbage
-// model file comes back as a descriptive error, never a decode panic or a
-// silently zero-valued detector. Every failure path returns a nil
-// detector — a load error can never hand back a partially-initialised
-// artefact.
-func LoadDetector(r io.Reader) (d *Detector, err error) {
-	// encoding/gob panics (rather than erroring) on some corrupt streams,
-	// e.g. absurd length prefixes fabricated by a bit flip; serving must
-	// see those as load errors too.
-	defer func() {
-		if rec := recover(); rec != nil {
-			d, err = nil, fmt.Errorf("core: load detector: corrupt model file: %v", rec)
-		}
-	}()
-	var env detectorEnvelope
-	if err := gob.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("core: load detector: %w", err)
-	}
-	if len(env.Min) != features.NumFeatures || len(env.Max) != features.NumFeatures {
-		return nil, fmt.Errorf("core: load detector: scaler has %d/%d ranges, want %d",
-			len(env.Min), len(env.Max), features.NumFeatures)
-	}
-	for i := range env.Min {
-		lo, hi := env.Min[i], env.Max[i]
-		if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
-			return nil, fmt.Errorf("core: load detector: scaler range %d is not finite (min %v, max %v)", i, lo, hi)
-		}
-		if hi < lo {
-			return nil, fmt.Errorf("core: load detector: scaler range %d inverted (min %v > max %v)", i, lo, hi)
-		}
-	}
-	if len(env.Weights) == 0 {
-		return nil, fmt.Errorf("core: load detector: envelope has no weights")
-	}
-	d = &Detector{
-		Scaler: &features.Scaler{Min: env.Min, Max: env.Max},
-		Net:    nn.PaperCNN(0),
-	}
-	if err := d.Net.Load(bytes.NewReader(env.Weights)); err != nil {
-		return nil, fmt.Errorf("core: load detector: weights: %w", err)
-	}
-	if len(env.CalibMin) > 0 || len(env.CalibMax) > 0 {
-		calib := &nn.Calibration{Min: env.CalibMin, Max: env.CalibMax}
-		if !calib.Valid(len(d.Net.Layers())) {
-			return nil, fmt.Errorf("core: load detector: bad calibration ranges (%d min, %d max for %d layers)",
-				len(env.CalibMin), len(env.CalibMax), len(d.Net.Layers()))
-		}
-		d.Calib = calib
-	}
-	return d, nil
-}
+// Deprecated: use LoadModel. Pre-split files load identically under
+// both names.
+func LoadDetector(r io.Reader) (*Detector, error) { return LoadModel(r) }
+
+// Detector returns the system's deployable snapshot.
+//
+// Deprecated: use Snapshot.
+func (s *System) Detector() (*Detector, error) { return s.Snapshot() }

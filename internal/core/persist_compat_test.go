@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"advmal/internal/features"
+	"advmal/internal/nn"
+)
+
+// legacyEnvelope is the pre-split on-disk format: scaler ranges plus the
+// weight blob, nothing else. gob matches struct fields by name, so bytes
+// written under this shape decode into the current modelEnvelope (the
+// extra fields stay zero) and vice versa (the extra fields are ignored).
+// These tests pin that compatibility in both directions.
+type legacyEnvelope struct {
+	Min, Max []float64
+	Weights  []byte
+}
+
+// legacyBlob serializes det the way the pre-split encoder did.
+func legacyBlob(t *testing.T, det *Model) []byte {
+	t.Helper()
+	var weights bytes.Buffer
+	if err := det.Net.Save(&weights); err != nil {
+		t.Fatal(err)
+	}
+	env := legacyEnvelope{Min: det.Scaler.Min, Max: det.Scaler.Max, Weights: weights.Bytes()}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadModelLegacyEnvelope loads a pre-split detector file: no
+// version stamp, no calibration. It must come back as version 1 of its
+// lineage and classify bitwise-identically to the model that wrote it.
+func TestLoadModelLegacyEnvelope(t *testing.T) {
+	det, _ := savedDetector(t)
+	prog := smallSystem(t).TestSamples()[0].Prog
+
+	m, err := LoadModel(bytes.NewReader(legacyBlob(t, det)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != 1 {
+		t.Fatalf("legacy file loaded as version %d, want 1", m.Version)
+	}
+	if m.Calib != nil {
+		t.Fatal("legacy file conjured calibration ranges from nothing")
+	}
+	_, want, err := det.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := m.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesOracle(got, [][]float64{want}) {
+		t.Fatalf("legacy-loaded model diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestSaveReadableByLegacyDecoder pins the reverse direction: a file
+// written by the current Save decodes under the pre-split envelope shape
+// (old code ignores the fields it does not know), and a model rebuilt
+// from those fields classifies identically.
+func TestSaveReadableByLegacyDecoder(t *testing.T) {
+	det, blob := savedDetector(t)
+	prog := smallSystem(t).TestSamples()[0].Prog
+
+	var env legacyEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&env); err != nil {
+		t.Fatalf("pre-split decoder rejected a current model file: %v", err)
+	}
+	if len(env.Min) != features.NumFeatures || len(env.Max) != features.NumFeatures {
+		t.Fatalf("legacy decode recovered %d/%d scaler ranges, want %d",
+			len(env.Min), len(env.Max), features.NumFeatures)
+	}
+	old := &Model{
+		Scaler: &features.Scaler{Min: env.Min, Max: env.Max},
+		Net:    nn.PaperCNN(0),
+	}
+	if err := old.Net.Load(bytes.NewReader(env.Weights)); err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := det.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := old.Classify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !matchesOracle(got, [][]float64{want}) {
+		t.Fatalf("legacy-shape rebuild diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestLoadModelLegacyCorrupt truncates and bit-flips legacy-format bytes:
+// every load must fail with an error and a nil model, exactly as for
+// current-format files.
+func TestLoadModelLegacyCorrupt(t *testing.T) {
+	det, _ := savedDetector(t)
+	blob := legacyBlob(t, det)
+
+	for _, n := range []int{0, 1, 8, len(blob) / 3, len(blob) - 1} {
+		m, err := LoadModel(bytes.NewReader(blob[:n]))
+		if err == nil {
+			t.Fatalf("LoadModel accepted a legacy file truncated to %d/%d bytes", n, len(blob))
+		}
+		if m != nil {
+			t.Fatalf("truncation to %d bytes returned a non-nil model alongside error %v", n, err)
+		}
+	}
+
+	// A flipped byte in the envelope header must be a clean error too.
+	mut := append([]byte(nil), blob...)
+	mut[3] ^= 0xff
+	if m, err := LoadModel(bytes.NewReader(mut)); err == nil || m != nil {
+		t.Fatalf("corrupt legacy header: model %v, err %v — want nil model and an error", m, err)
+	}
+}

@@ -82,22 +82,22 @@ func TestLoadDetectorCorrupt(t *testing.T) {
 // missing weights must all be rejected with descriptive errors.
 func TestLoadDetectorBadEnvelope(t *testing.T) {
 	_, blob := savedDetector(t)
-	var good detectorEnvelope
+	var good modelEnvelope
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&good); err != nil {
 		t.Fatal(err)
 	}
 	cases := []struct {
 		name string
-		mut  func(e *detectorEnvelope)
+		mut  func(e *modelEnvelope)
 	}{
-		{"nan min", func(e *detectorEnvelope) { e.Min[3] = math.NaN() }},
-		{"inf max", func(e *detectorEnvelope) { e.Max[0] = math.Inf(1) }},
-		{"inverted range", func(e *detectorEnvelope) { e.Min[1], e.Max[1] = 10, -10 }},
-		{"no weights", func(e *detectorEnvelope) { e.Weights = nil }},
-		{"truncated weights", func(e *detectorEnvelope) { e.Weights = e.Weights[:len(e.Weights)/2] }},
+		{"nan min", func(e *modelEnvelope) { e.Min[3] = math.NaN() }},
+		{"inf max", func(e *modelEnvelope) { e.Max[0] = math.Inf(1) }},
+		{"inverted range", func(e *modelEnvelope) { e.Min[1], e.Max[1] = 10, -10 }},
+		{"no weights", func(e *modelEnvelope) { e.Weights = nil }},
+		{"truncated weights", func(e *modelEnvelope) { e.Weights = e.Weights[:len(e.Weights)/2] }},
 	}
 	for _, tc := range cases {
-		env := detectorEnvelope{
+		env := modelEnvelope{
 			Min:     append([]float64(nil), good.Min...),
 			Max:     append([]float64(nil), good.Max...),
 			Weights: append([]byte(nil), good.Weights...),

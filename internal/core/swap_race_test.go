@@ -1,0 +1,197 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"advmal/internal/features"
+	"advmal/internal/ir"
+	"advmal/internal/nn"
+)
+
+// identityScaler returns a fitted scaler that maps features through
+// unchanged (min 0, max 1 per feature).
+func identityScaler() *features.Scaler {
+	min := make([]float64, features.NumFeatures)
+	max := make([]float64, features.NumFeatures)
+	for i := range max {
+		max[i] = 1
+	}
+	return &features.Scaler{Min: min, Max: max}
+}
+
+// raceProgram is a small valid program for the classification pipeline.
+const raceProgram = "movi r0, 1\nmovi r1, 2\nadd r0, r1\nret\n"
+
+// TestHandleSwapRejects pins the Swap admission checks: nil, incomplete,
+// and already-installed snapshots are all refused without disturbing the
+// serving pointer.
+func TestHandleSwapRejects(t *testing.T) {
+	m := &Model{Scaler: identityScaler(), Net: nn.PaperCNN(1)}
+	h := NewHandle(m)
+	if got := h.Version(); got != 1 {
+		t.Fatalf("fresh handle version %d, want 1", got)
+	}
+	if _, err := h.Swap(nil); err == nil {
+		t.Fatal("Swap(nil) succeeded")
+	}
+	if _, err := h.Swap(&Model{Net: nn.PaperCNN(2)}); err == nil {
+		t.Fatal("Swap of scaler-less model succeeded")
+	}
+	if _, err := h.Swap(&Model{Scaler: identityScaler()}); err == nil {
+		t.Fatal("Swap of net-less model succeeded")
+	}
+	if _, err := h.Swap(m); err == nil {
+		t.Fatal("Swap of the already-installed model succeeded")
+	}
+	if h.Current() != m || h.Version() != 1 || h.Swaps() != 0 {
+		t.Fatalf("rejected swaps disturbed the handle: version %d swaps %d", h.Version(), h.Swaps())
+	}
+
+	next := &Model{Scaler: identityScaler(), Net: nn.PaperCNN(2)}
+	old, err := h.Swap(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != m || h.Current() != next || h.Version() != 2 || h.Swaps() != 1 {
+		t.Fatalf("swap bookkeeping wrong: version %d swaps %d", h.Version(), h.Swaps())
+	}
+}
+
+// TestHandleSwapVersionMonotonic pins the restamp rule: versions strictly
+// increase across swaps, and a candidate carrying a higher stamp (e.g. a
+// model trained elsewhere) keeps it.
+func TestHandleSwapVersionMonotonic(t *testing.T) {
+	h := NewHandle(&Model{Scaler: identityScaler(), Net: nn.PaperCNN(1)})
+	last := h.Version()
+	for i := 0; i < 5; i++ {
+		if _, err := h.Swap(&Model{Scaler: identityScaler(), Net: nn.PaperCNN(int64(i + 2))}); err != nil {
+			t.Fatal(err)
+		}
+		if v := h.Version(); v <= last {
+			t.Fatalf("swap %d: version %d not above %d", i, v, last)
+		} else {
+			last = v
+		}
+	}
+	carried := &Model{Version: 100, Scaler: identityScaler(), Net: nn.PaperCNN(99)}
+	if _, err := h.Swap(carried); err != nil {
+		t.Fatal(err)
+	}
+	if h.Version() != 100 {
+		t.Fatalf("higher incoming stamp not kept: version %d, want 100", h.Version())
+	}
+}
+
+// TestHandleSwapUnderClassifyLoad is the stale-workspace regression test:
+// concurrent Classify traffic through the handle while a swapper installs
+// fresh Model snapshots over two distinct networks. Because workspace
+// pools are per-Model, every result must be bitwise-attributable to
+// exactly one network's oracle answer — a mixed-version result (old
+// weights with new scaler, or a stale pooled workspace over swapped-out
+// weights) would produce a third probability vector. Run under -race this
+// also proves the publish/consume edges are clean.
+func TestHandleSwapUnderClassifyLoad(t *testing.T) {
+	prog, err := ir.Parse(raceProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []*nn.Network{nn.PaperCNN(1), nn.PaperCNN(2)}
+	oracles := make([][]float64, len(nets))
+	for i, net := range nets {
+		m := &Model{Scaler: identityScaler(), Net: net}
+		_, probs, err := m.Classify(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracles[i] = probs
+	}
+	if oracles[0][0] == oracles[1][0] {
+		t.Fatal("the two oracle networks agree; the test cannot attribute results")
+	}
+
+	h := NewHandle(&Model{Scaler: identityScaler(), Net: nets[0]})
+	const (
+		swaps     = 200
+		readers   = 8
+		perReader = 400
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perReader; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := h.Current()
+				_, probs, err := m.Classify(prog)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !matchesOracle(probs, oracles) {
+					errs <- errMixedVersion(probs, oracles)
+					return
+				}
+			}
+		}()
+	}
+
+	// The swapper installs a FRESH Model per swap (the install-once
+	// protocol): snapshots alternate between the two networks, each with
+	// its own workspace pool.
+	lastVer := h.Version()
+	for i := 0; i < swaps; i++ {
+		m := &Model{Scaler: identityScaler(), Net: nets[(i+1)%len(nets)]}
+		if _, err := h.Swap(m); err != nil {
+			t.Fatalf("swap %d: %v", i, err)
+		}
+		if v := h.Version(); v != lastVer+1 {
+			t.Fatalf("swap %d: version %d, want %d", i, v, lastVer+1)
+		}
+		lastVer++
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if h.Version() != uint64(1+swaps) || h.Swaps() != swaps {
+		t.Fatalf("final version %d swaps %d, want %d and %d", h.Version(), h.Swaps(), 1+swaps, swaps)
+	}
+}
+
+// matchesOracle reports whether probs is bitwise equal to exactly one of
+// the oracle vectors.
+func matchesOracle(probs []float64, oracles [][]float64) bool {
+	for _, want := range oracles {
+		if len(probs) != len(want) {
+			continue
+		}
+		equal := true
+		for i := range want {
+			if probs[i] != want[i] {
+				equal = false
+				break
+			}
+		}
+		if equal {
+			return true
+		}
+	}
+	return false
+}
+
+func errMixedVersion(got []float64, oracles [][]float64) error {
+	return fmt.Errorf("classification result matches no snapshot oracle (mixed-version inference): got %v, oracles %v / %v",
+		got, oracles[0], oracles[1])
+}

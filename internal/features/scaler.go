@@ -87,6 +87,29 @@ func (s *Scaler) Transform(v Vector) (Vector, error) {
 	return out, nil
 }
 
+// TransformInto scales v into dst without allocating. dst must have the
+// scaler's dimension; v is read-only. It is the batch-serving flavour of
+// Transform: engines scale each raw row into per-worker scratch under
+// whichever model snapshot they are pinned to, so scale + inference stay
+// atomic across a hot swap.
+func (s *Scaler) TransformInto(dst, v Vector) error {
+	if !s.Fitted() {
+		return ErrNotFitted
+	}
+	if len(v) != len(s.Min) || len(dst) != len(s.Min) {
+		return fmt.Errorf("%w: got %d into %d, want %d", ErrBadLength, len(v), len(dst), len(s.Min))
+	}
+	for i, x := range v {
+		span := s.Max[i] - s.Min[i]
+		if span == 0 {
+			dst[i] = 0
+			continue
+		}
+		dst[i] = (x - s.Min[i]) / span
+	}
+	return nil
+}
+
 // TransformAll applies Transform to every vector.
 func (s *Scaler) TransformAll(vs []Vector) ([]Vector, error) {
 	out := make([]Vector, len(vs))

@@ -433,6 +433,9 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 		Failures uint64 `json:"failures"`
 		Trips    uint64 `json:"breaker_trips"`
 		Ejected  uint64 `json:"ejections"`
+		// ModelVer is the replica's serving model version as of its last
+		// successful ready probe (0 = not yet scraped).
+		ModelVer uint64 `json:"model_version"`
 	}
 	rows := make([]row, len(g.backends))
 	for i, b := range g.backends {
@@ -444,6 +447,7 @@ func (g *Gateway) handleBackends(w http.ResponseWriter, r *http.Request) {
 			Failures: b.Failures.Load(),
 			Trips:    b.Breaker.Trips(),
 			Ejected:  b.EjectCount.Load(),
+			ModelVer: b.ModelVer.Load(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

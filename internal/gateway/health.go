@@ -2,6 +2,8 @@ package gateway
 
 import (
 	"context"
+	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"sync/atomic"
@@ -24,6 +26,13 @@ type Backend struct {
 	Breaker *Breaker
 
 	healthy atomic.Bool
+
+	// ModelVer is the replica's serving model version, scraped from its
+	// GET /v1/model after each successful ready probe. Zero until the
+	// first scrape (or for replicas predating the endpoint). /backends
+	// reports it so fleet-wide version skew during a rolling hot swap is
+	// observable from one place.
+	ModelVer atomic.Uint64
 
 	Attempts   atomic.Uint64 // upstream attempts sent here
 	Failures   atomic.Uint64 // attempts that failed (transport or 5xx)
@@ -63,7 +72,9 @@ func (g *Gateway) healthLoop(b *Backend, seed int64) {
 	}
 }
 
-// probeReady asks one backend whether it is ready to serve.
+// probeReady asks one backend whether it is ready to serve. A ready
+// replica also has its model version scraped, so /backends tracks the
+// fleet's version skew at health-check cadence.
 func (g *Gateway) probeReady(b *Backend) bool {
 	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HealthTimeout)
 	defer cancel()
@@ -76,7 +87,36 @@ func (g *Gateway) probeReady(b *Backend) bool {
 		return false
 	}
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	g.scrapeModel(ctx, b)
+	return true
+}
+
+// scrapeModel best-effort refreshes the backend's serving model version
+// from GET /v1/model. Failures leave the last known version in place —
+// the probe already established readiness, and a replica predating the
+// endpoint simply stays at 0.
+func (g *Gateway) scrapeModel(ctx context.Context, b *Backend) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.URL+"/v1/model", nil)
+	if err != nil {
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var info struct {
+		Version uint64 `json:"version"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&info) == nil && info.Version > 0 {
+		b.ModelVer.Store(info.Version)
+	}
 }
 
 // observeHealth folds one probe result into the backend's state.

@@ -1,0 +1,164 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/serve"
+)
+
+// Retrainer is the online-retraining loop: draw a window from the
+// stream, train a candidate, canary it against the live model, and swap
+// the handle only when every gate passes. One goroutine drives it (Run
+// or repeated RunOnce); Status is safe to call from anywhere.
+type Retrainer struct {
+	// Handle is the serving pointer candidates are swapped into.
+	// Required.
+	Handle *core.Handle
+	// Stream supplies labeled windows. Required.
+	Stream *Stream
+	// Trainer fits candidates. Its Seed is advanced per cycle so every
+	// candidate initializes differently. Zero value is usable.
+	Trainer Trainer
+	// Gates are the canary thresholds (zero values = defaults).
+	Gates Gates
+	// WarmStart, when true, initializes each candidate from the live
+	// model's weights instead of fresh random init.
+	WarmStart bool
+	// OnReport, when non-nil, receives each cycle's report (on the loop
+	// goroutine).
+	OnReport func(*CycleReport)
+
+	mu     sync.Mutex
+	runs   uint64
+	passed uint64
+	failed uint64
+	gates  []serve.GateStatus
+}
+
+// CycleReport is one retraining cycle's outcome.
+type CycleReport struct {
+	// Window is the stream window index this cycle trained on.
+	Window int `json:"window"`
+	// WindowSize is the usable (post-skip) sample count.
+	WindowSize int `json:"window_size"`
+	// Swapped reports whether the candidate reached traffic.
+	Swapped bool `json:"swapped"`
+	// OldVersion/NewVersion bracket the swap; equal when no swap
+	// happened.
+	OldVersion uint64 `json:"old_version"`
+	NewVersion uint64 `json:"new_version"`
+	// Canary is the full gate evaluation.
+	Canary CanaryResult `json:"canary"`
+	// TrainTime and CanaryTime are the cycle's cost split.
+	TrainTime  time.Duration `json:"train_time"`
+	CanaryTime time.Duration `json:"canary_time"`
+}
+
+// RunOnce executes one full cycle: window → candidate → canary → swap
+// (gates permitting). A gated-out candidate is not an error — the report
+// says Swapped=false and the loop moves on.
+func (r *Retrainer) RunOnce(ctx context.Context) (*CycleReport, error) {
+	if r.Handle == nil || r.Stream == nil {
+		return nil, fmt.Errorf("lifecycle: retrainer needs a Handle and a Stream")
+	}
+	window := r.Stream.Window()
+	samples, err := r.Stream.Next()
+	if err != nil {
+		return nil, err
+	}
+	live := r.Handle.Current()
+	tr := r.Trainer
+	tr.Seed += int64(window) * 31 // fresh init per cycle
+	if tr.Extractor == nil {
+		tr.Extractor = live.Extractor // keep the feature cache warm
+	}
+	if r.WarmStart {
+		tr.WarmStart = live.Net
+	}
+	t0 := time.Now()
+	cand, err := tr.Train(ctx, samples)
+	if err != nil {
+		return nil, err
+	}
+	trainTime := time.Since(t0)
+
+	t1 := time.Now()
+	canary, err := EvaluateCanary(live, cand.Model, cand.HoldX, cand.HoldY, r.Gates)
+	if err != nil {
+		return nil, err
+	}
+	rep := &CycleReport{
+		Window:     window,
+		WindowSize: cand.Window,
+		OldVersion: live.Version,
+		NewVersion: live.Version,
+		Canary:     canary,
+		TrainTime:  trainTime,
+		CanaryTime: time.Since(t1),
+	}
+	if canary.Pass {
+		if _, err := r.Handle.Swap(cand.Model); err != nil {
+			return nil, fmt.Errorf("lifecycle: swap: %w", err)
+		}
+		rep.Swapped = true
+		rep.NewVersion = cand.Model.Version
+	}
+
+	r.mu.Lock()
+	r.runs++
+	if canary.Pass {
+		r.passed++
+	} else {
+		r.failed++
+	}
+	r.gates = canary.Gates
+	r.mu.Unlock()
+	if r.OnReport != nil {
+		r.OnReport(rep)
+	}
+	return rep, nil
+}
+
+// Run loops RunOnce every interval until ctx is cancelled. Cycle errors
+// are reported through errf (nil discards them) and do not stop the
+// loop — a failed window must not end retraining forever.
+func (r *Retrainer) Run(ctx context.Context, interval time.Duration, errf func(error)) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		if _, err := r.RunOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if errf != nil {
+				errf(err)
+			}
+		}
+	}
+}
+
+// Status snapshots the loop's counters and last gate verdicts in the
+// serving metrics schema.
+func (r *Retrainer) Status() *serve.LifecycleStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := &serve.LifecycleStatus{
+		CanaryRuns:   r.runs,
+		CanaryPassed: r.passed,
+		CanaryFailed: r.failed,
+	}
+	st.Gates = append(st.Gates, r.gates...)
+	return st
+}

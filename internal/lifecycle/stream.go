@@ -1,0 +1,100 @@
+// Package lifecycle closes the serving loop the paper leaves open: the
+// detector in production faces a drifting sample distribution (new
+// malware variants, fresh obfuscation), so the system continuously
+// retrains candidate models on the incoming labeled stream, canary-
+// evaluates each candidate against the live model — on clean holdout
+// metrics AND on evasion rates under the paper's eight adversarial
+// attacks — and hot-swaps the serving core.Handle only when every gate
+// passes. A candidate that regresses accuracy, inflates FNR/FPR, or
+// becomes easier to evade never reaches traffic.
+package lifecycle
+
+import (
+	"fmt"
+
+	"advmal/internal/synth"
+)
+
+// StreamConfig configures the simulated labeled sample stream.
+type StreamConfig struct {
+	// Seed drives generation; each window derives its own seed from it,
+	// so the stream is deterministic but windows differ.
+	Seed int64
+	// NumBenign and NumMal size each window. Zero values default to a
+	// small retraining window (40 benign / 120 malicious) — enough for
+	// the synthetic families to be learnable, small enough to retrain in
+	// seconds.
+	NumBenign int
+	NumMal    int
+	// DriftRamp is the per-window increase of obfuscation intensity
+	// applied to the malicious fraction, simulating adversaries that
+	// mutate families over time. Default 0.1; intensity saturates at 1.
+	DriftRamp float64
+}
+
+// Stream yields labeled sample windows with ramping family mutation:
+// window 0 is the clean distribution, later windows obfuscate an ever-
+// larger fraction of each malicious program's eligible sites. Not safe
+// for concurrent use; the retraining loop owns it.
+type Stream struct {
+	cfg    StreamConfig
+	window int
+}
+
+// NewStream returns a stream over cfg with defaults applied.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.NumBenign <= 0 {
+		cfg.NumBenign = 40
+	}
+	if cfg.NumMal <= 0 {
+		cfg.NumMal = 120
+	}
+	if cfg.DriftRamp <= 0 {
+		cfg.DriftRamp = 0.1
+	}
+	return &Stream{cfg: cfg}
+}
+
+// Window reports how many windows have been drawn.
+func (s *Stream) Window() int { return s.window }
+
+// Next draws the next labeled window. The malicious fraction is passed
+// through the deterministic obfuscation passes with intensity that ramps
+// with the window index — the drift the retraining loop exists to chase.
+func (s *Stream) Next() ([]*synth.Sample, error) {
+	w := s.window
+	s.window++
+	samples, err := synth.Generate(synth.Config{
+		Seed:      s.cfg.Seed + int64(w)*7919,
+		NumBenign: s.cfg.NumBenign,
+		NumMal:    s.cfg.NumMal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: window %d: %w", w, err)
+	}
+	intensity := s.cfg.DriftRamp * float64(w)
+	if intensity > 1 {
+		intensity = 1
+	}
+	if intensity <= 0 {
+		return samples, nil
+	}
+	passes := synth.Obfuscations()
+	for i, smp := range samples {
+		if !smp.Malicious {
+			continue
+		}
+		pass := passes[i%len(passes)]
+		mutated, err := synth.Obfuscate(smp.Prog, pass, intensity, s.cfg.Seed+int64(w)*104729+int64(i))
+		if err != nil {
+			// Obfuscation is best-effort drift simulation: a program the
+			// pass cannot transform stays clean rather than killing the
+			// window.
+			continue
+		}
+		clone := *smp
+		clone.Prog = mutated
+		samples[i] = &clone
+	}
+	return samples, nil
+}

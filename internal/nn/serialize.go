@@ -28,6 +28,28 @@ func (n *Network) Save(w io.Writer) error {
 	return nil
 }
 
+// CloneInto copies this network's weights into dst, which must share the
+// architecture (same parameter names and sizes). Unlike CloneShared, dst
+// owns private weight tensors afterwards: training dst never touches the
+// source. The online-retraining path uses it to warm-start a candidate
+// from the live model's weights without aliasing them.
+func (n *Network) CloneInto(dst *Network) error {
+	src := n.Params()
+	out := dst.Params()
+	if len(src) != len(out) {
+		return fmt.Errorf("nn: clone: %d params into %d", len(src), len(out))
+	}
+	for i, p := range src {
+		q := out[i]
+		if q.Name != p.Name || len(q.W) != len(p.W) {
+			return fmt.Errorf("nn: clone: param %d is %q[%d], want %q[%d]",
+				i, q.Name, len(q.W), p.Name, len(p.W))
+		}
+		copy(q.W, p.W)
+	}
+	return nil
+}
+
 // Load restores weights previously written by Save into a network with an
 // identical architecture.
 func (n *Network) Load(r io.Reader) error {

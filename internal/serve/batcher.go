@@ -73,7 +73,27 @@ type request struct {
 
 type result struct {
 	probs []float64
-	err   error
+	// version stamps the model snapshot that scored this row (0 when the
+	// engine is not version-aware, e.g. test fakes).
+	version uint64
+	err     error
+}
+
+// versionedEngine is the optional BatchEngine extension the batcher uses
+// to attribute each result to the model snapshot that produced it. The
+// handle-bound serving engine implements it; the batcher reads it on the
+// worker goroutine immediately after the batch executes.
+type versionedEngine interface {
+	ModelVersion() uint64
+}
+
+// engineVersion returns the engine's current model version, 0 for
+// engines that are not version-aware.
+func engineVersion(eng BatchEngine) uint64 {
+	if v, ok := eng.(versionedEngine); ok {
+		return v.ModelVersion()
+	}
+	return 0
 }
 
 // Batcher is the micro-batching scheduler. Submit enqueues a vector
@@ -125,8 +145,18 @@ func NewBatcher(cfg BatcherConfig) *Batcher {
 // ErrQueueFull immediately (the server turns that into 429), and a
 // draining batcher returns ErrDraining (503).
 func (b *Batcher) Submit(ctx context.Context, x []float64) ([]float64, error) {
+	probs, _, err := b.SubmitV(ctx, x)
+	return probs, err
+}
+
+// SubmitV is Submit plus attribution: it also returns the version stamp
+// of the model snapshot that scored the vector (0 when the engine is
+// not version-aware). Replayed corpora and red-team logs keep it so
+// every verdict is attributable to the exact weights that produced it,
+// even across a hot swap.
+func (b *Batcher) SubmitV(ctx context.Context, x []float64) ([]float64, uint64, error) {
 	if b.cfg.InputDim > 0 && len(x) != b.cfg.InputDim {
-		return nil, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), b.cfg.InputDim)
+		return nil, 0, fmt.Errorf("%w: got %d features, want %d", ErrBadInput, len(x), b.cfg.InputDim)
 	}
 	req := &request{x: x, enq: time.Now(), done: make(chan result, 1)}
 
@@ -137,7 +167,7 @@ func (b *Batcher) Submit(ctx context.Context, x []float64) ([]float64, error) {
 	if b.drain {
 		b.mu.RUnlock()
 		b.cfg.Metrics.reject(true)
-		return nil, ErrDraining
+		return nil, 0, ErrDraining
 	}
 	select {
 	case b.queue <- req:
@@ -145,7 +175,7 @@ func (b *Batcher) Submit(ctx context.Context, x []float64) ([]float64, error) {
 	default:
 		b.mu.RUnlock()
 		b.cfg.Metrics.reject(false)
-		return nil, ErrQueueFull
+		return nil, 0, ErrQueueFull
 	}
 	b.started.Add(1)
 	if m := b.cfg.Metrics; m != nil {
@@ -154,14 +184,14 @@ func (b *Batcher) Submit(ctx context.Context, x []float64) ([]float64, error) {
 
 	select {
 	case res := <-req.done:
-		return res.probs, res.err
+		return res.probs, res.version, res.err
 	case <-ctx.Done():
 		// The worker will still execute the request and deliver into
 		// the buffered channel; only this waiter gives up.
 		if m := b.cfg.Metrics; m != nil {
 			m.Expired.Add(1)
 		}
-		return nil, ctx.Err()
+		return nil, 0, ctx.Err()
 	}
 }
 
@@ -293,10 +323,14 @@ func (b *Batcher) exec(eng BatchEngine, batch []*request, xs *[][]float64, dst [
 	out, err := probsBatchSafe(eng, *xs, dst)
 	if err == nil {
 		dst = out
+		// Read the version on the worker goroutine, after the batch ran
+		// and before the next bind can move the engine to a new snapshot:
+		// this stamps exactly the weights that scored these rows.
+		ver := engineVersion(eng)
 		for i, req := range batch {
 			probs := make([]float64, len(dst[i]))
 			copy(probs, dst[i])
-			req.done <- result{probs: probs}
+			req.done <- result{probs: probs, version: ver}
 			b.done.Add(1)
 		}
 	} else {
@@ -311,7 +345,7 @@ func (b *Batcher) exec(eng BatchEngine, batch []*request, xs *[][]float64, dst [
 			if rerr == nil {
 				probs = append([]float64(nil), probs...)
 			}
-			req.done <- result{probs: probs, err: rerr}
+			req.done <- result{probs: probs, version: engineVersion(eng), err: rerr}
 			b.done.Add(1)
 		}
 	}

@@ -122,6 +122,10 @@ func (e chaosEngine) SafeProbs(x []float64) ([]float64, error) {
 	return e.inner.SafeProbs(x)
 }
 
+// ModelVersion forwards version attribution through the decorator so a
+// chaos-wrapped handle engine still stamps verdicts.
+func (e chaosEngine) ModelVersion() uint64 { return engineVersion(e.inner) }
+
 // chaosRequest is the POST /chaosz wire format. Pointer fields
 // distinguish "leave unchanged" from an explicit zero; Clear applies
 // first, so {"clear":true,"slow_ms":5} resets everything and then sets

@@ -1,6 +1,11 @@
 // Package serve is the online detection service: a stdlib-only HTTP
-// front end over a loaded core.Detector whose inference core is a
-// micro-batching scheduler (see Batcher). Requests queue into a bounded
+// front end over a core.Handle — the atomic pointer to the current
+// immutable core.Model snapshot — whose inference core is a
+// micro-batching scheduler (see Batcher). Workers re-bind to the
+// handle's snapshot per batch and scale + infer under that one pinned
+// Model, so a hot swap (POST /admin/swap, or the online retraining
+// loop in internal/lifecycle) never mixes versions and never drops a
+// request. Requests queue into a bounded
 // channel, workers coalesce them into batches — flushing on batch size
 // or a latency window — and execute them on per-worker zero-allocation
 // nn.Workspaces via ProbsBatch, so single-request latency stays within
@@ -62,6 +67,11 @@ type Verdict struct {
 	// Triage, when a similarity corpus is wired into the server, scores
 	// the query's distance to its nearest labeled corpus neighbor.
 	Triage *index.TriageInfo `json:"triage,omitempty"`
+	// ModelVersion stamps the model snapshot whose weights produced this
+	// verdict — across a hot swap, old and new verdicts stay
+	// distinguishable in logs and replayed corpora. Offline tools
+	// (cmd/classify) stamp the loaded model's version the same way.
+	ModelVersion uint64 `json:"model_version"`
 }
 
 // Label returns the wire label for a class index.
@@ -72,11 +82,12 @@ func Label(class int) string {
 	return "benign"
 }
 
-// MakeVerdict assembles a Verdict from a probability vector and CFG
+// MakeVerdict assembles a Verdict from a probability vector, CFG
 // summary counts (pass zeros and hasGraph=false for vector-only
-// requests). Non-finite probabilities are rejected with
-// ErrNonFiniteProbs before they can poison the JSON encoder.
-func MakeVerdict(name string, probs []float64, blocks, edges int, hasGraph bool) (Verdict, error) {
+// requests), and the version of the model that produced the probs.
+// Non-finite probabilities are rejected with ErrNonFiniteProbs before
+// they can poison the JSON encoder.
+func MakeVerdict(name string, probs []float64, blocks, edges int, hasGraph bool, modelVersion uint64) (Verdict, error) {
 	for _, p := range probs {
 		if math.IsNaN(p) || math.IsInf(p, 0) {
 			return Verdict{}, ErrNonFiniteProbs
@@ -84,13 +95,14 @@ func MakeVerdict(name string, probs []float64, blocks, edges int, hasGraph bool)
 	}
 	class := nn.Argmax(probs)
 	return Verdict{
-		Name:       name,
-		Class:      class,
-		Label:      Label(class),
-		Confidence: probs[class],
-		Probs:      probs,
-		HasGraph:   hasGraph,
-		Blocks:     blocks,
-		Edges:      edges,
+		Name:         name,
+		Class:        class,
+		Label:        Label(class),
+		Confidence:   probs[class],
+		Probs:        probs,
+		HasGraph:     hasGraph,
+		Blocks:       blocks,
+		Edges:        edges,
+		ModelVersion: modelVersion,
 	}, nil
 }

@@ -17,11 +17,24 @@ import (
 	"advmal/internal/ir"
 )
 
-// Config configures a Server. Detector is required; everything else has
-// the default noted on its field.
+// Config configures a Server. Exactly one of Handle or Detector is
+// required; everything else has the default noted on its field.
 type Config struct {
-	// Detector classifies. Required.
+	// Handle is the serving pointer: the server classifies on whatever
+	// Model snapshot the handle currently holds, and a Swap installs a
+	// new snapshot with zero dropped requests. Required unless Detector
+	// is set.
+	Handle *core.Handle
+	// Detector is the pre-split way to hand the server its model. When
+	// Handle is nil, the detector is wrapped in a fresh single-version
+	// handle.
+	//
+	// Deprecated: use Handle.
 	Detector *core.Detector
+	// Admin mounts the mutating control surface: POST /admin/swap
+	// accepts a model gob and hot-swaps it into the handle. Off by
+	// default — the read-only GET /v1/model endpoint is always mounted.
+	Admin bool
 	// BatchSize and Window tune the micro-batcher (see BatcherConfig).
 	// Defaults: 64 and 2ms.
 	BatchSize int
@@ -35,13 +48,18 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxBody bounds request bodies. Default 1 MiB.
 	MaxBody int64
-	// NewEngine overrides the per-worker inference engine; nil borrows
-	// detector workspaces. Tests use it to inject fakes.
+	// NewEngine overrides the per-worker inference engine; nil builds
+	// handle-bound engines that re-bind to the current Model snapshot at
+	// each batch. Tests use it to inject fakes. Note the batcher feeds
+	// engines RAW (unscaled) rows — the default engine scales them under
+	// its pinned snapshot; a custom engine must cope with raw input.
 	NewEngine func() BatchEngine
-	// Quantize routes bulk traffic to the detector's int8 quantized
-	// model, escalating borderline rows to the float engine (see Band).
-	// Requires a detector with calibration ranges — New fails fast
-	// otherwise. Ignored when NewEngine is set.
+	// Quantize routes bulk traffic to the model's int8 quantized
+	// compilation, escalating borderline rows to the float engine (see
+	// Band). Requires an initial model with calibration ranges — New
+	// fails fast otherwise. A hot-swapped candidate that cannot quantize
+	// serves float-only rather than failing. Ignored when NewEngine is
+	// set.
 	Quantize bool
 	// Band is the escalation band for the quantized tier: a row whose
 	// quantized top-two probability margin is below Band re-runs on the
@@ -61,14 +79,17 @@ type Config struct {
 }
 
 // Server is the detection service: HTTP handlers over a Batcher over a
-// core.Detector. Create with New, expose via Handler, stop with Drain.
+// core.Handle. Create with New, expose via Handler, stop with Drain.
 type Server struct {
 	cfg     Config
-	det     *core.Detector
+	h       *core.Handle
 	batcher *Batcher
 	metrics *Metrics
 	ready   atomic.Bool
 	mux     *http.ServeMux
+	// lc holds the latest online-retraining status for /metrics; nil
+	// until SetLifecycle publishes one.
+	lc atomic.Pointer[LifecycleStatus]
 }
 
 // defaultWindow is the default coalescing window.
@@ -81,8 +102,12 @@ const defaultBand = 0.2
 
 // New builds the server and starts its batcher workers.
 func New(cfg Config) (*Server, error) {
-	if cfg.Detector == nil {
-		return nil, fmt.Errorf("serve: Config.Detector is required")
+	h := cfg.Handle
+	if h == nil {
+		if cfg.Detector == nil {
+			return nil, fmt.Errorf("serve: Config.Handle (or Detector) is required")
+		}
+		h = core.NewHandle(cfg.Detector)
 	}
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 64
@@ -104,27 +129,26 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBody <= 0 {
 		cfg.MaxBody = 1 << 20
 	}
-	s := &Server{cfg: cfg, det: cfg.Detector, metrics: NewMetrics()}
+	s := &Server{cfg: cfg, h: h, metrics: NewMetrics()}
 	newEngine := cfg.NewEngine
 	if newEngine == nil {
-		det := cfg.Detector
+		band := cfg.Band
+		if band == 0 {
+			band = defaultBand
+		} else if band < 0 {
+			band = 0
+		}
 		if cfg.Quantize {
-			qm, err := det.Quantized()
-			if err != nil {
+			// Fail fast on the INITIAL model: starting a quantized fleet
+			// on an uncalibrated model is a configuration error. Swapped-in
+			// candidates degrade to float-only instead (see handleEngine).
+			if _, err := h.Current().Quantized(); err != nil {
 				return nil, fmt.Errorf("serve: quantized tier: %w", err)
 			}
-			band := cfg.Band
-			if band == 0 {
-				band = defaultBand
-			} else if band < 0 {
-				band = 0
-			}
-			metrics := s.metrics
-			newEngine = func() BatchEngine {
-				return newTieredEngine(qm.NewWS(), det.AcquireWS(), band, metrics)
-			}
-		} else {
-			newEngine = func() BatchEngine { return det.AcquireWS() }
+		}
+		quantize, metrics := cfg.Quantize, s.metrics
+		newEngine = func() BatchEngine {
+			return newHandleEngine(h, quantize, band, metrics)
 		}
 	}
 	if cfg.Chaos != nil {
@@ -148,6 +172,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	if cfg.Admin {
+		s.mux.HandleFunc("POST /admin/swap", s.handleSwap)
+	}
 	if cfg.Chaos != nil {
 		s.mux.HandleFunc("/chaosz", s.handleChaos)
 	}
@@ -157,6 +185,10 @@ func New(cfg Config) (*Server, error) {
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle returns the serving handle, for swap drivers running in the
+// same process (the retraining loop started by cmd/serve -retrain).
+func (s *Server) Handle() *core.Handle { return s.h }
 
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -224,16 +256,20 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	vec, blocks, edges, err := s.det.Vectorize(prog)
+	// Extract RAW features only — scaling happens inside the batch
+	// engine under whichever snapshot scores the row, so the verdict is
+	// attributable to exactly one model version across a hot swap.
+	raw, blocks, edges, err := s.h.Current().RawFeatures(prog)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	s.classify(w, r, name, vec, blocks, edges, true)
+	s.classify(w, r, name, raw, blocks, edges, true)
 }
 
-// handleVector accepts a raw feature vector, scales it with the
-// detector's fitted scaler, and answers with a Verdict (no CFG summary).
+// handleVector accepts a raw feature vector and answers with a Verdict
+// (no CFG summary). Scaling happens in the batch engine; the batcher's
+// admission check maps a wrong dimension to 400.
 func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Chaos.intercept(w, r) {
 		return
@@ -247,20 +283,15 @@ func (s *Server) handleVector(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
-	scaled, err := s.det.Scaler.Transform(req.Vector)
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		return
-	}
-	s.classify(w, r, req.Name, scaled, 0, 0, false)
+	s.classify(w, r, req.Name, req.Vector, 0, 0, false)
 }
 
-// classify submits a scaled vector to the batcher and writes the verdict
+// classify submits a raw vector to the batcher and writes the verdict
 // or the mapped admission/execution error.
 func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, vec []float64, blocks, edges int, hasGraph bool) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
-	probs, err := s.batcher.Submit(ctx, vec)
+	probs, ver, err := s.batcher.SubmitV(ctx, vec)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -280,7 +311,12 @@ func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, v
 		}
 		return
 	}
-	v, err := MakeVerdict(name, probs, blocks, edges, hasGraph)
+	if ver == 0 {
+		// Engine not version-aware (custom NewEngine, e.g. test fakes):
+		// fall back to the handle's version at response time.
+		ver = s.h.Version()
+	}
+	v, err := MakeVerdict(name, probs, blocks, edges, hasGraph, ver)
 	if err != nil {
 		// Non-finite probabilities: a typed 500 with a clear message,
 		// never a mid-response JSON encoder failure.
@@ -288,11 +324,16 @@ func (s *Server) classify(w http.ResponseWriter, r *http.Request, name string, v
 		return
 	}
 	if c := s.cfg.Corpus; c != nil {
-		if hits, herr := c.HNSW.Search(vec, 1); herr == nil && len(hits) > 0 {
-			ti := c.Triage.Score(hits)
-			v.Triage = &ti
-			if ti.Flagged {
-				s.metrics.TriageFlagged.Add(1)
+		// The corpus index lives in scaled space; scale the raw query
+		// with the current snapshot's scaler. Triage is advisory, so a
+		// scaling failure just omits the block.
+		if scaled, serr := s.h.Current().Scaler.Transform(vec); serr == nil {
+			if hits, herr := c.HNSW.Search(scaled, 1); herr == nil && len(hits) > 0 {
+				ti := c.Triage.Score(hits)
+				v.Triage = &ti
+				if ti.Flagged {
+					s.metrics.TriageFlagged.Add(1)
+				}
 			}
 		}
 	}
@@ -318,7 +359,14 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool)
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.WriteText(w, s.det.Extractor.Stats())
+	s.metrics.WriteText(w, s.h.Current().Extractor.Stats())
+	fmt.Fprintf(w, "# HELP advmal_model_version Version stamp of the model snapshot currently serving.\n")
+	fmt.Fprintf(w, "# TYPE advmal_model_version gauge\n")
+	fmt.Fprintf(w, "advmal_model_version %d\n", s.h.Version())
+	fmt.Fprintf(w, "# HELP advmal_model_swaps_total Hot swaps installed since start.\n")
+	fmt.Fprintf(w, "# TYPE advmal_model_swaps_total counter\n")
+	fmt.Fprintf(w, "advmal_model_swaps_total %d\n", s.h.Swaps())
+	s.writeLifecycleText(w)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -90,6 +90,9 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 		req.Program = string(body)
 	}
 
+	// Similarity queries are served entirely on one snapshot: resolve the
+	// handle once and use that model's extractor + scaler for the query.
+	m := s.h.Current()
 	var vec []float64
 	switch {
 	case req.Program != "":
@@ -98,13 +101,13 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, err)
 			return
 		}
-		vec, _, _, err = s.det.Vectorize(prog)
+		vec, _, _, err = m.Vectorize(prog)
 		if err != nil {
 			s.fail(w, http.StatusUnprocessableEntity, err)
 			return
 		}
 	default:
-		scaled, err := s.det.Scaler.Transform(req.Vector)
+		scaled, err := m.Scaler.Transform(req.Vector)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, err)
 			return

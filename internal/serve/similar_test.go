@@ -66,11 +66,11 @@ func TestMakeVerdictNonFinite(t *testing.T) {
 		{0.5, math.Inf(1)},
 		{math.Inf(-1), 0.5},
 	} {
-		if _, err := MakeVerdict("x", bad, 0, 0, false); err == nil {
+		if _, err := MakeVerdict("x", bad, 0, 0, false, 1); err == nil {
 			t.Errorf("MakeVerdict(%v) succeeded, want ErrNonFiniteProbs", bad)
 		}
 	}
-	if _, err := MakeVerdict("x", []float64{0.25, 0.75}, 1, 0, true); err != nil {
+	if _, err := MakeVerdict("x", []float64{0.25, 0.75}, 1, 0, true, 1); err != nil {
 		t.Fatalf("finite probs rejected: %v", err)
 	}
 }

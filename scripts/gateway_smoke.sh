@@ -85,11 +85,13 @@ echo "gateway-smoke: phase 1 — clean cluster"
 
 # Phase 2: kill one replica mid-load via the chaos surface (the replica
 # os.Exit(137)s itself — a crash, not a drain) and keep asserting zero
-# client-visible failures through the gateway.
+# server failures through the gateway. -strict makes loadgen's exit code
+# the assertion: any transport error or 5xx fails the run, shed 4xx load
+# would not — no report grepping.
 VICTIM=$(echo "$REPLICA_ADDRS" | cut -d, -f1)
 VICTIM_PID=$(echo "$REPLICA_PIDS" | awk '{print $1}')
 echo "gateway-smoke: phase 2 — killing replica $VICTIM mid-load"
-"$TMP/loadgen" -addr "http://$GW" -duration 4s -conc 8 -programs 16 \
+"$TMP/loadgen" -addr "http://$GW" -duration 4s -conc 8 -programs 16 -strict \
 	-chaos "at=1s,url=http://$VICTIM,mode=kill" \
 	>"$TMP/phase2.out" 2>"$TMP/phase2.err"
 cat "$TMP/phase2.out"

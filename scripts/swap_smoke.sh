@@ -1,0 +1,134 @@
+#!/bin/sh
+# swap_smoke.sh — end-to-end smoke of the canary-gated hot-swap path.
+#
+# Builds serve/loadgen/classify/retrain, trains a tiny detector, boots
+# one admin-armed replica, and asserts the lifecycle claims end to end:
+#
+#   1. with client load running continuously against the replica, the
+#      external retrain driver trains a candidate on a drifted window,
+#      passes the (permissive, clean-only) canary gates, and hot-swaps
+#      it in over POST /admin/swap;
+#   2. not a single client request fails across the swap — loadgen runs
+#      without -tolerate-errors, so any non-200 fails the script;
+#   3. the replica's /metrics reports the new version and the swap count,
+#      and /v1/model agrees.
+#
+# Run from the repo root (the Makefile swap-smoke target does).
+set -eu
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "swap-smoke: building binaries"
+go build -o "$TMP" ./cmd/serve ./cmd/loadgen ./cmd/classify ./cmd/retrain
+
+echo "swap-smoke: training a tiny detector"
+"$TMP/classify" -train -model "$TMP/det.gob" -benign 20 -malware 60 -epochs 15 >/dev/null
+
+# wait_addr LOGFILE PREFIX PID — scrape the resolved listen address.
+wait_addr() {
+	_addr=""
+	_i=0
+	while [ $_i -lt 100 ]; do
+		_addr=$(sed -n "s/^$2: listening on \\([^ ]*\\).*/\\1/p" "$1")
+		[ -n "$_addr" ] && break
+		if ! kill -0 "$3" 2>/dev/null; then
+			echo "swap-smoke: FAIL — $2 died during startup" >&2
+			exit 1
+		fi
+		sleep 0.1
+		_i=$((_i + 1))
+	done
+	if [ -z "$_addr" ]; then
+		echo "swap-smoke: FAIL — $2 never reported its address" >&2
+		exit 1
+	fi
+	echo "$_addr"
+}
+
+echo "swap-smoke: starting admin-armed replica"
+"$TMP/serve" -model "$TMP/det.gob" -addr 127.0.0.1:0 -admin \
+	>"$TMP/serve.out" 2>"$TMP/serve.err" &
+SRV_PID=$!
+PIDS="$PIDS $SRV_PID"
+ADDR=$(wait_addr "$TMP/serve.out" serve "$SRV_PID")
+echo "swap-smoke: replica up at $ADDR (pid $SRV_PID)"
+
+# Continuous client load across the whole swap window. No error
+# tolerance: a single non-200 during the hot swap fails the script.
+echo "swap-smoke: starting continuous load"
+"$TMP/loadgen" -addr "http://$ADDR" -duration 25s -conc 8 -programs 16 \
+	>"$TMP/load.out" 2>"$TMP/load.err" &
+LOAD_PID=$!
+PIDS="$PIDS $LOAD_PID"
+
+# Retrain + canary + swap from outside the serving process. Clean gates
+# are fully permissive (the tiny windows make metrics noisy) and the
+# evasion gates are skipped — gate selectivity is pinned by the
+# lifecycle package tests; this script asserts the wire path.
+echo "swap-smoke: retraining and swapping a candidate in"
+"$TMP/retrain" -model "$TMP/det.gob" -swap-url "http://$ADDR" \
+	-benign 12 -malware 36 -epochs 5 \
+	-max-acc-drop 1 -max-fnr-increase 1 -max-fpr-increase 1 -attack-samples -1 \
+	>"$TMP/retrain.out" 2>"$TMP/retrain.err"
+cat "$TMP/retrain.out"
+
+# The swap must have landed while load was still flowing.
+if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+	echo "swap-smoke: FAIL — load generator exited before the swap landed" >&2
+	cat "$TMP/load.err" >&2
+	exit 1
+fi
+
+# The replica must now serve version 2 and account for one swap.
+if ! curl -sf "http://$ADDR/metrics" | grep -q '^advmal_model_version 2$'; then
+	curl -s "http://$ADDR/metrics" | grep -E 'model_version|swaps' >&2 || true
+	echo "swap-smoke: FAIL — /metrics does not report model version 2" >&2
+	exit 1
+fi
+if ! curl -sf "http://$ADDR/metrics" | grep -q '^advmal_model_swaps_total 1$'; then
+	echo "swap-smoke: FAIL — /metrics does not report exactly one swap" >&2
+	exit 1
+fi
+if ! curl -sf "http://$ADDR/v1/model" | grep -q '"version":2'; then
+	echo "swap-smoke: FAIL — /v1/model does not report version 2" >&2
+	exit 1
+fi
+echo "swap-smoke: replica serves v2 after one hot swap"
+
+# Zero dropped requests: the load that spanned the swap must exit 0.
+set +e
+wait "$LOAD_PID"
+LOAD_STATUS=$?
+set -e
+if [ "$LOAD_STATUS" -ne 0 ]; then
+	cat "$TMP/load.out" "$TMP/load.err" >&2
+	echo "swap-smoke: FAIL — client load saw errors across the hot swap" >&2
+	exit 1
+fi
+grep -E 'requests|by_status' "$TMP/load.out" || true
+
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+SRV_STATUS=$?
+set -e
+if [ "$SRV_STATUS" -ne 0 ]; then
+	cat "$TMP/serve.err" >&2
+	echo "swap-smoke: FAIL — replica exited $SRV_STATUS after SIGTERM" >&2
+	exit 1
+fi
+if ! grep -q 'dropped=0' "$TMP/serve.err"; then
+	cat "$TMP/serve.err" >&2
+	echo "swap-smoke: FAIL — drain accounting does not report dropped=0" >&2
+	exit 1
+fi
+PIDS=""
+echo "swap-smoke: PASS"
