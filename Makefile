@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short race-train quant-parity bench-train bench-train-short race-lifecycle swap-smoke bench-swap bench-swap-short
+.PHONY: build test vet race check bench fault bench-snapshot bench-short race-fused bench-nn bench-nn-short race-nn race-serve serve-smoke bench-serve bench-serve-short race-gateway gateway-smoke bench-gateway bench-gateway-short race-index index-smoke bench-index bench-index-short race-train quant-parity bench-train bench-train-short race-lifecycle swap-smoke bench-swap bench-swap-short race-redteam redteam-smoke bench-redteam bench-redteam-short
 
 build:
 	$(GO) build ./...
@@ -202,4 +202,34 @@ bench-swap:
 bench-swap-short:
 	$(GO) run ./cmd/bench -suite swap -short -o /tmp/BENCH_swap.short.json
 
-check: build race race-fused race-nn race-serve race-gateway race-index race-train quant-parity race-lifecycle serve-smoke gateway-smoke index-smoke swap-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short bench-train-short bench-swap-short
+# The red-team harness and the multi-class head under the race detector:
+# concurrent campaign replay against a live serve instance while the
+# handle hot-swaps (the full wire path), the multi-class attack fan-outs
+# (target state set only between fan-outs), and the K=2 bit-identity /
+# head-width validation pins.
+race-redteam:
+	$(GO) test -race -timeout 600s ./internal/redteam/
+	$(GO) test -race -timeout 1800s -run 'Families|TargetSelector|Targeted' ./internal/attacks/
+	$(GO) test -race -timeout 600s -run 'Classes|ClassMapping|HeadWidth' ./internal/core/ ./internal/nn/
+
+# End-to-end smoke of the live attack-replay harness: serve -admin on an
+# ephemeral port, a paced mixed campaign (eight attacks + GEA + clean
+# controls), a retrain hot swap landing mid-campaign, then assert zero
+# transport/HTTP errors, nonzero evasion, triage counters present, and a
+# per-model-version robustness delta (DESIGN.md §14).
+redteam-smoke:
+	sh scripts/redteam_smoke.sh
+
+# Refresh the committed red-team snapshot: campaign generation cost,
+# replay throughput at 1/2/4 senders against an in-process serve target,
+# and the per-outcome scoring overhead. See EXPERIMENTS.md §Benchmark
+# snapshots.
+bench-redteam:
+	$(GO) run ./cmd/bench -suite redteam -o BENCH_redteam.json
+
+# Smoke-run the redteam suite at reduced scope; scratch output so the
+# committed snapshot only changes via bench-redteam.
+bench-redteam-short:
+	$(GO) run ./cmd/bench -suite redteam -short -o /tmp/BENCH_redteam.short.json
+
+check: build race race-fused race-nn race-serve race-gateway race-index race-train quant-parity race-lifecycle race-redteam serve-smoke gateway-smoke index-smoke swap-smoke redteam-smoke bench-short bench-nn-short bench-serve-short bench-gateway-short bench-index-short bench-train-short bench-swap-short bench-redteam-short

@@ -39,6 +39,7 @@ func run(ctx context.Context) error {
 		benign     = flag.Int("benign", 276, "benign corpus size")
 		malware    = flag.Int("malware", 2281, "malicious corpus size")
 		maxSamples = flag.Int("max", 0, "cap attacked samples per method (0 = all correctly classified)")
+		families   = flag.Bool("families", false, "train the multi-class family head and evaluate the eight attacks as source->target family misclassification (untargeted + targeted) instead of Table III")
 		verbose    = flag.Bool("v", false, "print per-epoch training progress")
 	)
 	flag.Parse()
@@ -48,6 +49,9 @@ func run(ctx context.Context) error {
 	cfg.Epochs = *epochs
 	cfg.NumBenign = *benign
 	cfg.NumMal = *malware
+	if *families {
+		cfg.Classes = core.NumFamilyClasses
+	}
 	if *verbose {
 		cfg.Verbose = os.Stderr
 	}
@@ -63,6 +67,20 @@ func run(ctx context.Context) error {
 		return err
 	}
 	fmt.Printf("detector: %v\n\n", m)
+
+	if *families {
+		fm, err := sys.EvaluateFamilyHead()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\ncollapsed binary operating point: %v\n\n", fm, fm.Collapse())
+		fres, err := sys.RunFamilyAttacksCtx(ctx, attacks.Options{MaxSamples: *maxSamples})
+		if err != nil {
+			return err
+		}
+		fmt.Print(core.RenderFamilyAttacks(fres))
+		return nil
+	}
 
 	results, err := sys.RunTableIIICtx(ctx, attacks.Options{MaxSamples: *maxSamples})
 	if err != nil {

@@ -175,8 +175,10 @@ func main() {
 		trainSuite(h, *short)
 	case "swap":
 		swapSuite(h, *short)
+	case "redteam":
+		redteamSuite(h, *short)
 	default:
-		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, index, train, or swap)", *suite))
+		fatal(fmt.Errorf("unknown suite %q (want extract, nn, serve, gateway, index, train, swap, or redteam)", *suite))
 	}
 
 	finish(h, *out)

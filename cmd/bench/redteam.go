@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/features"
+	"advmal/internal/nn"
+	"advmal/internal/redteam"
+	"advmal/internal/serve"
+)
+
+// redteamSuite measures the attack-replay harness: campaign generation
+// cost (crafting against the surrogate), end-to-end replay throughput
+// against an in-process serve target at 1/2/4 senders, and the pure
+// scoring overhead per observed outcome. The replay rows carry
+// items_per_sec so the claim "scoring keeps up with the wire" is
+// checkable against the serve suite's raw classify throughput.
+func redteamSuite(h *harness, short bool) {
+	min := make([]float64, features.NumFeatures)
+	max := make([]float64, features.NumFeatures)
+	for i := range max {
+		max[i] = 1
+	}
+	mdl := &core.Model{
+		Version: 1,
+		Classes: 2,
+		Scaler:  &features.Scaler{Min: min, Max: max},
+		Net:     nn.PaperCNN(0),
+	}
+	cfg := redteam.CampaignConfig{
+		Seed:    3,
+		Model:   mdl,
+		PerCell: 2,
+		Eps:     []float64{0.3},
+		Attacks: []string{"FGSM", "PGD", "JSMA"},
+		SkipGEA: short,
+		Clean:   1,
+	}
+	if short {
+		cfg.PerCell = 1
+		cfg.Attacks = []string{"FGSM"}
+	}
+
+	var camp *redteam.Campaign
+	genRes := h.run("redteam/generate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var err error
+			camp, err = redteam.Generate(context.Background(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if genRes.NsPerOp > 0 {
+		addMetric(h, "redteam/generate", "items_per_sec",
+			float64(len(camp.Items))/(genRes.NsPerOp/1e9))
+	}
+	addMetric(h, "redteam/generate", "items", float64(len(camp.Items)))
+
+	srv, err := serve.New(serve.Config{
+		Handle: core.NewHandle(mdl),
+		Window: -1,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Drain()
+	}()
+
+	replayRow := func(name string, workers int) Result {
+		res := h.run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := redteam.Replay(context.Background(), camp, redteam.ReplayConfig{
+					Target:  ts.URL,
+					Workers: workers,
+					Timeout: 30 * time.Second,
+				}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.TransportErrors+rep.HTTPErrors > 0 {
+					b.Fatalf("replay errors: %s", rep.FirstError)
+				}
+			}
+		})
+		addMetric(h, name, "workers", float64(workers))
+		if res.NsPerOp > 0 {
+			addMetric(h, name, "items_per_sec",
+				float64(len(camp.Items))/(res.NsPerOp/1e9))
+		}
+		return res
+	}
+	r1 := replayRow("redteam/replay-1w", 1)
+	r2 := replayRow("redteam/replay-2w", 2)
+	r4 := replayRow("redteam/replay-4w", 4)
+	h.snap.Speedups["redteam-replay-2w-vs-1w"] = ratio(r1, r2)
+	h.snap.Speedups["redteam-replay-4w-vs-1w"] = ratio(r1, r4)
+
+	// Scoring overhead in isolation: one Observe per op, the per-item
+	// cost the replay path adds on top of the HTTP round trip.
+	outcome := redteam.Outcome{
+		Item:   &camp.Items[len(camp.Items)-1],
+		Status: 200,
+		Verdict: serve.Verdict{
+			Malicious: false, Probs: []float64{0.7, 0.3}, ModelVersion: 1,
+		},
+		Latency: time.Millisecond,
+	}
+	s := redteam.NewScorer()
+	obs := h.run("redteam/observe", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s.Observe(outcome)
+		}
+	})
+	if obs.NsPerOp > 0 && r4.NsPerOp > 0 {
+		perItem := r4.NsPerOp / float64(len(camp.Items))
+		addMetric(h, "redteam/observe", "pct_of_replay_item", 100*obs.NsPerOp/perItem)
+	}
+}

@@ -27,7 +27,7 @@ import (
 	"advmal/internal/core"
 	"advmal/internal/index"
 	"advmal/internal/ir"
-	"advmal/internal/nn"
+	"advmal/internal/report"
 	"advmal/internal/serve"
 )
 
@@ -46,14 +46,15 @@ func main() {
 
 func run(ctx context.Context) error {
 	var (
-		model   = flag.String("model", "detector.gob", "detector file")
-		train   = flag.Bool("train", false, "train a detector and save it to -model")
-		seed    = flag.Int64("seed", 1, "pipeline seed (with -train)")
-		epochs  = flag.Int("epochs", 200, "training epochs (with -train)")
-		benign  = flag.Int("benign", 276, "benign corpus size (with -train)")
-		malware = flag.Int("malware", 2281, "malicious corpus size (with -train)")
-		asJSON  = flag.Bool("json", false, "emit one serve.Verdict JSON object per line")
-		idxPath = flag.String("index", "", "with -train: also build the similarity corpus index (HNSW over the labeled training split) and save it here")
+		model    = flag.String("model", "detector.gob", "detector file")
+		train    = flag.Bool("train", false, "train a detector and save it to -model")
+		seed     = flag.Int64("seed", 1, "pipeline seed (with -train)")
+		epochs   = flag.Int("epochs", 200, "training epochs (with -train)")
+		benign   = flag.Int("benign", 276, "benign corpus size (with -train)")
+		malware  = flag.Int("malware", 2281, "malicious corpus size (with -train)")
+		asJSON   = flag.Bool("json", false, "emit one serve.Verdict JSON object per line")
+		idxPath  = flag.String("index", "", "with -train: also build the similarity corpus index (HNSW over the labeled training split) and save it here")
+		families = flag.Bool("families", false, "with -train: fit the multi-class family head (benign + each malware family) instead of the binary detector; prints the confusion matrix and the collapsed binary operating point")
 	)
 	flag.Parse()
 
@@ -63,6 +64,9 @@ func run(ctx context.Context) error {
 		cfg.Epochs = *epochs
 		cfg.NumBenign = *benign
 		cfg.NumMal = *malware
+		if *families {
+			cfg.Classes = core.NumFamilyClasses
+		}
 		sys := core.New(cfg)
 		if err := sys.BuildCorpusCtx(ctx); err != nil {
 			return err
@@ -75,6 +79,16 @@ func run(ctx context.Context) error {
 			return err
 		}
 		fmt.Println("trained:", m)
+		if *families {
+			fm, err := sys.EvaluateFamilyHead()
+			if err != nil {
+				return err
+			}
+			fmt.Print(report.Confusion(
+				fmt.Sprintf("Family head confusion (accuracy %.2f%%, n=%d)", fm.Accuracy*100, fm.N),
+				core.ClassLabels(core.NumFamilyClasses), fm.Confusion).String())
+			fmt.Printf("collapsed binary operating point: %v\n", fm.Collapse())
+		}
 		det, err := sys.Detector()
 		if err != nil {
 			return err
@@ -139,8 +153,11 @@ func classifyFiles(ctx context.Context, det *core.Detector, paths []string, w io
 			return err
 		}
 		verdict := "benign"
-		if v.Class == nn.ClassMalware {
+		if v.Malicious {
 			verdict = "MALWARE"
+			if v.Family != "" {
+				verdict += " (" + v.Family + ")"
+			}
 		}
 		fmt.Fprintf(w, "%-30s %s (p=%.3f) — %d blocks, %d edges\n",
 			path, verdict, v.Confidence, v.Blocks, v.Edges)

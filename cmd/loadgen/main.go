@@ -9,6 +9,8 @@
 //	loadgen -targets http://127.0.0.1:8377,http://127.0.0.1:8380 -requests 100 -json
 //	loadgen -addr http://GW -duration 6s -chaos "at=2s,url=http://REPLICA,mode=kill"
 //
+// -endpoint selects which API the run exercises: classify (default) or
+// similar, which drives POST /v1/similar on an index-loaded target.
 // -targets spreads requests round-robin over several endpoints (direct
 // replica baselines); -addr remains the single-endpoint form. -chaos
 // drives replica fault injection mid-run: a semicolon-separated list of
@@ -71,6 +73,7 @@ type report struct {
 	Latency     serve.LatencySummary `json:"latency"`
 	Targets     []targetReport       `json:"targets,omitempty"`
 	ChaosEvents []string             `json:"chaos_events,omitempty"`
+	FirstError  string               `json:"first_error,omitempty"`
 }
 
 func run() error {
@@ -87,9 +90,20 @@ func run() error {
 		jsonOut  = flag.Bool("json", false, "emit the report as JSON")
 		tolerate = flag.Bool("tolerate-errors", false, "exit 0 even when requests failed (overload runs)")
 		strict   = flag.Bool("strict", false, "exit non-zero iff any request saw a transport error or 5xx; 4xx (shed load) is tolerated — smoke scripts use this instead of grepping reports")
+		endpoint = flag.String("endpoint", "classify", "endpoint to exercise: classify (POST /v1/classify) or similar (POST /v1/similar — target must be started with an index)")
 		chaos    = flag.String("chaos", "", "fault schedule: 'at=DUR,mode=MODE[,target=IDX|url=URL][,delay=DUR][,every=N];...'")
 	)
 	flag.Parse()
+
+	var path string
+	switch *endpoint {
+	case "classify":
+		path = "/v1/classify"
+	case "similar":
+		path = "/v1/similar"
+	default:
+		return fmt.Errorf("-endpoint %q: want classify or similar", *endpoint)
+	}
 
 	urls := []string{strings.TrimRight(*addr, "/")}
 	if *targets != "" {
@@ -148,7 +162,19 @@ func run() error {
 		next    atomic.Int64 // round-robin program index and request budget
 		mu      sync.Mutex
 		buckets = make([]bucket, len(urls))
+
+		// First hard failure's body, so a -strict run says what went
+		// wrong instead of just which status code did.
+		failMu    sync.Mutex
+		firstFail string
 	)
+	noteFail := func(desc string) {
+		failMu.Lock()
+		if firstFail == "" {
+			firstFail = desc
+		}
+		failMu.Unlock()
+	}
 	for i := range buckets {
 		buckets[i].byStatus = map[string]int{}
 	}
@@ -189,11 +215,19 @@ func run() error {
 				target := int(n-1) % len(urls)
 				body := bodies[int(n-1)%len(bodies)]
 				t0 := time.Now()
-				resp, err := client.Post(urls[target]+"/v1/classify", "text/plain", strings.NewReader(body))
+				resp, err := client.Post(urls[target]+path, "text/plain", strings.NewReader(body))
 				lat := time.Since(t0)
 				if err != nil {
 					record(target, lat, "transport_error", false)
+					noteFail(fmt.Sprintf("%s%s: transport error: %v", urls[target], path, err))
 					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					// Keep the first failing body for the report; the rest
+					// are drained unread.
+					msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+					noteFail(fmt.Sprintf("%s%s: HTTP %d: %s",
+						urls[target], path, resp.StatusCode, strings.TrimSpace(string(msg))))
 				}
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
@@ -209,6 +243,7 @@ func run() error {
 		ByStatus:    map[string]int{},
 		DurationSec: elapsed.Seconds(),
 		ChaosEvents: fired(),
+		FirstError:  firstFail,
 	}
 	var allLats []time.Duration
 	for i, u := range urls {
@@ -255,6 +290,9 @@ func run() error {
 		for _, ev := range rep.ChaosEvents {
 			fmt.Printf("loadgen: chaos %s\n", ev)
 		}
+		if rep.FirstError != "" {
+			fmt.Printf("loadgen: first failure: %s\n", rep.FirstError)
+		}
 	}
 	if *strict {
 		// Strict mode cares about server failures only: transport errors
@@ -268,8 +306,8 @@ func run() error {
 			}
 		}
 		if hard > 0 {
-			return fmt.Errorf("strict: %d of %d requests hit transport errors or 5xx (by-status %v)",
-				hard, rep.Requests, rep.ByStatus)
+			return fmt.Errorf("strict: %d of %d requests hit transport errors or 5xx (by-status %v; first: %s)",
+				hard, rep.Requests, rep.ByStatus, rep.FirstError)
 		}
 	} else if rep.Errors > 0 && !*tolerate {
 		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)

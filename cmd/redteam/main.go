@@ -1,0 +1,154 @@
+// Command redteam generates an adversarial campaign from a deterministic
+// seed and replays it as paced HTTP traffic against a live serve or
+// gateway target, scoring responses online: per-attack/per-family/
+// per-budget evasion rates, detection-score distributions, ANN-triage
+// catch rate, and per-model-version attribution so a retrain hot swap
+// mid-campaign is measured as a before/after robustness delta.
+//
+// Usage:
+//
+//	redteam -target http://127.0.0.1:8377 -model model.gob \
+//	        [-seed N] [-benign N] [-malware N] [-per-cell N] \
+//	        [-eps 0.1,0.3] [-attacks FGSM,PGD] [-no-gea] \
+//	        [-replay-workers N] [-rps N] [-similar] [-json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"advmal/internal/core"
+	"advmal/internal/redteam"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "redteam: interrupted — partial scorecard above")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "redteam:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context) error {
+	var (
+		target    = flag.String("target", "", "base URL of the live serve/gateway target (required)")
+		modelPath = flag.String("model", "", "surrogate model gob — the same file the target serves (required)")
+		seed      = flag.Int64("seed", 1, "campaign seed")
+		benign    = flag.Int("benign", 40, "benign source corpus size")
+		malware   = flag.Int("malware", 150, "malicious source corpus size")
+		perCell   = flag.Int("per-cell", 3, "source samples per (attack, family, budget) cell")
+		epsList   = flag.String("eps", "", "comma-separated budget sweep (default 0.1,0.3)")
+		atkList   = flag.String("attacks", "", "comma-separated attack filter (default all eight)")
+		noGEA     = flag.Bool("no-gea", false, "skip GEA graph-splice items")
+		clean     = flag.Int("clean", 0, "clean control items per class (default per-cell)")
+		craftW    = flag.Int("craft-workers", 0, "crafting parallelism (0 = GOMAXPROCS)")
+		replayW   = flag.Int("replay-workers", 4, "concurrent replay senders")
+		rps       = flag.Float64("rps", 0, "aggregate replay pacing in req/s (0 = unpaced)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		similar   = flag.Bool("similar", false, "also query /v1/similar for the ANN-triage catch rate")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON instead of tables")
+	)
+	flag.Parse()
+	if *target == "" || *modelPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-target and -model are required")
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	mdl, err := core.LoadModel(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "redteam: surrogate %s (version %d, %d classes)\n",
+		*modelPath, mdl.Version, mdl.Net.NumClasses())
+
+	eps, err := parseFloats(*epsList)
+	if err != nil {
+		return fmt.Errorf("-eps: %w", err)
+	}
+	cfg := redteam.CampaignConfig{
+		Seed:      *seed,
+		Model:     mdl,
+		NumBenign: *benign,
+		NumMal:    *malware,
+		PerCell:   *perCell,
+		Eps:       eps,
+		Attacks:   splitList(*atkList),
+		SkipGEA:   *noGEA,
+		Clean:     *clean,
+		Workers:   *craftW,
+	}
+	t0 := time.Now()
+	camp, err := redteam.Generate(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "redteam: campaign ready — %d items (%d attacks × %d families × %d budgets) in %v\n",
+		len(camp.Items), len(camp.Attacks), len(camp.Families), len(camp.Budgets),
+		time.Since(t0).Round(time.Millisecond))
+
+	rep, err := redteam.Replay(ctx, camp, redteam.ReplayConfig{
+		Target:  strings.TrimRight(*target, "/"),
+		Workers: *replayW,
+		RPS:     *rps,
+		Timeout: *timeout,
+		Similar: *similar,
+	}, nil)
+	if rep != nil {
+		if *jsonOut {
+			if jerr := writeJSON(os.Stdout, rep); jerr != nil && err == nil {
+				err = jerr
+			}
+		} else {
+			fmt.Print(rep.String())
+		}
+	}
+	return err
+}
+
+func writeJSON(w io.Writer, rep *redteam.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

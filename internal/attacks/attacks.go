@@ -8,7 +8,11 @@
 // All attacks operate in the scaled feature space (the [0,1] box the
 // min-max scaler maps the training range onto) and are deterministic.
 // For the binary detection task every attack targets the opposite class,
-// which coincides with the untargeted objective.
+// which coincides with the untargeted objective. Against a K-way family
+// head the margin attacks default to the runner-up class of the clean
+// prediction (the nearest boundary), and every attack except VAM also
+// supports an explicit target class via SetTarget — source→target
+// family misclassification, evaluated by EvaluateFamiliesCtx.
 package attacks
 
 import (
@@ -98,6 +102,82 @@ func cloneVec(v []float64) []float64 { return append([]float64(nil), v...) }
 
 // opposite returns the adversary's target class for a binary detector.
 func opposite(label int) int { return 1 - label }
+
+// Targeted is implemented by attacks that support an explicit target
+// class against a K-way head. SetTarget(class) forces subsequent Craft
+// calls toward class; SetTarget is not safe concurrently with Craft —
+// set the target, then fan crafting out. All eight attacks implement it
+// except VAM, whose objective (output-distribution divergence) has no
+// target class.
+type Targeted interface {
+	Attack
+	SetTarget(class int)
+}
+
+// SetTarget forces a's target class when the attack supports targeting,
+// reporting whether it does. Pass a negative class to reset to the
+// untargeted objective.
+func SetTarget(a Attack, class int) bool {
+	t, ok := a.(Targeted)
+	if ok {
+		t.SetTarget(class)
+	}
+	return ok
+}
+
+// targetSelector is the shared target-class state for the margin-based
+// attacks (C&W, DeepFool, EAD, JSMA). The zero value is the untargeted
+// objective: the opposite class on a binary head — bit-identical to the
+// legacy binary crafting path — or the runner-up class of the clean
+// prediction on a K-way head (the nearest decision boundary). forced
+// stores the explicit target class + 1 so the zero value stays
+// untargeted.
+type targetSelector struct {
+	forced int
+}
+
+// SetTarget implements Targeted.
+func (t *targetSelector) SetTarget(class int) {
+	if class < 0 {
+		t.forced = 0
+		return
+	}
+	t.forced = class + 1
+}
+
+// forcedTarget returns the explicit target class, or -1 when untargeted.
+// The loss-gradient attacks (FGSM/MIM/PGD) use it directly: untargeted
+// they ascend the true-label loss (K-safe as-is), targeted they descend
+// the target-class loss.
+func (t *targetSelector) forcedTarget() int { return t.forced - 1 }
+
+// target resolves the target class for one sample with true label label.
+func (t *targetSelector) target(eng nn.Engine, x []float64, label int) int {
+	if t.forced > 0 {
+		return t.forced - 1
+	}
+	if eng.NumClasses() == 2 {
+		return opposite(label)
+	}
+	return runnerUp(eng.Logits(x), label)
+}
+
+// runnerUp returns the highest-logit class other than label.
+func runnerUp(logits []float64, label int) int {
+	best, bestV := -1, math.Inf(-1)
+	for k, v := range logits {
+		if k == label {
+			continue
+		}
+		if v > bestV {
+			best, bestV = k, v
+		}
+	}
+	if best < 0 {
+		return opposite(label)
+	}
+	return best
+}
 
 // Default hyper-parameters, from §IV-B2 of the paper.
 const (

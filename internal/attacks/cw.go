@@ -12,6 +12,7 @@ import (
 // the original and target logits. The paper runs 200 iterations with
 // learning rate 0.1 and reports 100% MR with small L2 distortion.
 type CW struct {
+	targetSelector
 	LR    float64
 	Iters int
 	C     float64 // penalty weight; 0 means 10
@@ -53,7 +54,7 @@ func atanhClamped(x float64) float64 {
 // L2 distortion and returns it; if no iterate succeeds it returns the
 // final one.
 func (a *CW) Craft(eng nn.Engine, x []float64, label int) []float64 {
-	target := opposite(label)
+	target := a.target(eng, x, label)
 	dim := len(x)
 	w := make([]float64, dim)
 	for i, xi := range x {

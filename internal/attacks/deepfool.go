@@ -9,6 +9,7 @@ import (
 // small overshoot so the iterate actually crosses it. The paper uses
 // overshoot 0.02 and at most 100 iterations.
 type DeepFool struct {
+	targetSelector
 	Overshoot float64
 	Iters     int
 }
@@ -32,7 +33,7 @@ func (d *DeepFool) Name() string { return "DeepFool" }
 // f(x) = z_t - z_y; each step moves -f(x)/||w||^2 * w with
 // w = dz_t/dx - dz_y/dx, scaled by (1+overshoot).
 func (d *DeepFool) Craft(eng nn.Engine, x []float64, label int) []float64 {
-	target := opposite(label)
+	target := d.target(eng, x, label)
 	adv := cloneVec(x)
 	w := make([]float64, len(adv)) // boundary normal, reused across iterations
 	for it := 0; it < d.Iters; it++ {

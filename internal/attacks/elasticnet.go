@@ -13,6 +13,7 @@ import (
 // second-lowest Avg.FG for EAD. The paper runs 250 iterations with
 // learning rate 0.1.
 type ElasticNet struct {
+	targetSelector
 	LR    float64
 	Iters int
 	C     float64 // margin penalty weight; 0 means 10
@@ -43,7 +44,7 @@ func (e *ElasticNet) Name() string { return "ElasticNet" }
 // Craft implements Attack. Among successful iterates it keeps the one
 // with the smallest elastic-net distortion.
 func (e *ElasticNet) Craft(eng nn.Engine, x []float64, label int) []float64 {
-	target := opposite(label)
+	target := e.target(eng, x, label)
 	dim := len(x)
 	y := cloneVec(x) // ISTA iterate before shrinkage
 	adv := cloneVec(x)

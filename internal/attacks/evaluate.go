@@ -105,6 +105,7 @@ func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]floa
 			ct    time.Duration
 			valid bool
 			label int
+			pred  int
 		}
 		rows := make([]perSample, len(idx))
 		// One shared-weight view plus its workspace per worker: crafting
@@ -131,6 +132,7 @@ func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]floa
 				ct:    ct,
 				valid: validator.Valid(features.Vector(adv)),
 				label: y[i],
+				pred:  pred,
 			}
 			return nil
 		})
@@ -148,9 +150,16 @@ func EvaluateCtx(ctx context.Context, net *nn.Network, atks []Attack, x [][]floa
 			res.Total++
 			if row.mis {
 				res.Misclassified++
-				if row.label == nn.ClassMalware {
+				// Class 0 is benign in both the binary and the family class
+				// space. MalToBen counts full detection evasion — a
+				// malicious sample predicted benign — so a family head's
+				// family-to-family confusion inflates neither column; on the
+				// binary head any misclassification flips the axis, exactly
+				// the legacy accounting.
+				switch {
+				case row.label != nn.ClassBenign && row.pred == nn.ClassBenign:
 					res.MalToBen++
-				} else {
+				case row.label == nn.ClassBenign && row.pred != nn.ClassBenign:
 					res.BenToMal++
 				}
 			}

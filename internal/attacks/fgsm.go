@@ -9,6 +9,7 @@ import (
 // and observes a low misclassification rate — one step cannot escape the
 // local neighbourhood.
 type FGSM struct {
+	targetSelector
 	Eps float64
 }
 
@@ -23,12 +24,18 @@ func NewFGSM(eps float64) *FGSM {
 // Name implements Attack.
 func (f *FGSM) Name() string { return "FGSM" }
 
-// Craft implements Attack: x' = clip(x + eps * sign(dJ/dx)).
+// Craft implements Attack: x' = clip(x + eps * sign(dJ/dx)). Targeted
+// (SetTarget on a K-way head) it descends the target-class loss instead:
+// x' = clip(x - eps * sign(dJ_t/dx)).
 func (f *FGSM) Craft(eng nn.Engine, x []float64, label int) []float64 {
-	_, grad := eng.LossGrad(x, label)
+	lbl, dir := label, 1.0
+	if t := f.forcedTarget(); t >= 0 {
+		lbl, dir = t, -1.0
+	}
+	_, grad := eng.LossGrad(x, lbl)
 	adv := cloneVec(x)
 	for i := range adv {
-		adv[i] += f.Eps * sign(grad[i])
+		adv[i] += dir * f.Eps * sign(grad[i])
 	}
 	return clipBox(adv)
 }

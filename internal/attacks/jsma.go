@@ -12,6 +12,7 @@ import (
 // gamma=0.6 (fraction of features that may be touched) and reports that
 // JSMA needs the fewest feature changes of all eight attacks.
 type JSMA struct {
+	targetSelector
 	Theta float64
 	Gamma float64
 	// Allowed, when non-nil, restricts the attack to these feature
@@ -45,7 +46,7 @@ func (j *JSMA) Name() string { return "JSMA" }
 // condition the attack falls back to the largest s_t - s_o gap, the
 // standard relaxation for low-dimensional feature spaces.
 func (j *JSMA) Craft(eng nn.Engine, x []float64, label int) []float64 {
-	target := opposite(label)
+	target := j.target(eng, x, label)
 	adv := cloneVec(x)
 	budget := int(j.Gamma * float64(len(x)))
 	if budget < 1 {

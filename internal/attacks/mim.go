@@ -9,6 +9,7 @@ import (
 // stabilizes the update direction and escapes poor local maxima. The
 // paper runs 10 iterations with eps=0.3.
 type MIM struct {
+	targetSelector
 	Eps   float64
 	Iters int
 	Mu    float64 // decay factor; 0 means 1.0 (the MIM paper's default)
@@ -34,11 +35,15 @@ func (m *MIM) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	if mu == 0 {
 		mu = 1.0
 	}
+	lbl, dir := label, 1.0
+	if t := m.forcedTarget(); t >= 0 {
+		lbl, dir = t, -1.0 // targeted: descend the target-class loss
+	}
 	alpha := m.Eps / float64(m.Iters)
 	adv := cloneVec(x)
 	momentum := make([]float64, len(x))
 	for it := 0; it < m.Iters; it++ {
-		_, grad := eng.LossGrad(adv, label)
+		_, grad := eng.LossGrad(adv, lbl)
 		n1 := l1norm(grad)
 		if n1 == 0 {
 			n1 = 1
@@ -47,7 +52,7 @@ func (m *MIM) Craft(eng nn.Engine, x []float64, label int) []float64 {
 			momentum[i] = mu*momentum[i] + grad[i]/n1
 		}
 		for i := range adv {
-			adv[i] += alpha * sign(momentum[i])
+			adv[i] += dir * alpha * sign(momentum[i])
 		}
 		clipLinf(adv, x, m.Eps)
 		clipBox(adv)

@@ -8,6 +8,7 @@ import (
 // projected back onto the eps L-inf ball around the original sample and
 // the [0,1] box. The paper runs 40 iterations with eps=0.3.
 type PGD struct {
+	targetSelector
 	Eps   float64
 	Iters int
 	// Alpha is the per-step size; 0 means 2.5*Eps/Iters, the standard
@@ -35,11 +36,15 @@ func (p *PGD) Craft(eng nn.Engine, x []float64, label int) []float64 {
 	if alpha <= 0 {
 		alpha = 2.5 * p.Eps / float64(p.Iters)
 	}
+	lbl, dir := label, 1.0
+	if t := p.forcedTarget(); t >= 0 {
+		lbl, dir = t, -1.0 // targeted: descend the target-class loss
+	}
 	adv := cloneVec(x)
 	for it := 0; it < p.Iters; it++ {
-		_, grad := eng.LossGrad(adv, label)
+		_, grad := eng.LossGrad(adv, lbl)
 		for i := range adv {
-			adv[i] += alpha * sign(grad[i])
+			adv[i] += dir * alpha * sign(grad[i])
 		}
 		clipLinf(adv, x, p.Eps)
 		clipBox(adv)

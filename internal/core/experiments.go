@@ -68,6 +68,25 @@ func (s *System) RunTableIIICtx(ctx context.Context, opts attacks.Options) ([]at
 	return attacks.EvaluateCtx(ctx, s.Net, attacks.All(), s.TestX, s.TestY, opts)
 }
 
+// RunFamilyAttacksCtx re-runs the eight attacks against the family head
+// as source→target misclassification: untargeted per-source-family rows
+// plus the full targeted success matrix for attacks with explicit
+// targets. Requires a family-head system (Config.Classes ==
+// NumFamilyClasses).
+func (s *System) RunFamilyAttacksCtx(ctx context.Context, opts attacks.Options) ([]attacks.FamilyResult, error) {
+	if s.Net == nil {
+		return nil, ErrNotTrained
+	}
+	if s.Net.NumClasses() != NumFamilyClasses {
+		return nil, fmt.Errorf("core: family attacks: model has %d classes, want %d",
+			s.Net.NumClasses(), NumFamilyClasses)
+	}
+	if opts.Workers == 0 {
+		opts.Workers = s.Config.Workers
+	}
+	return attacks.EvaluateFamiliesCtx(ctx, s.Net, attacks.All(), s.TestX, s.TestY, opts)
+}
+
 // GEAPipeline returns a GEA crafting pipeline bound to the trained
 // detector. verify enables per-sample functionality verification.
 func (s *System) GEAPipeline(verify bool) (*gea.Pipeline, error) {

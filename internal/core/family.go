@@ -85,9 +85,36 @@ func (s *System) EvaluateFamilies(fc *FamilyClassifier) (*FamilyMetrics, error) 
 	for i, f := range fc.Families {
 		classOf[f] = i
 	}
-	k := len(fc.Families)
+	y := make([]int, s.Test.Len())
+	for i, r := range s.Test.Records {
+		y[i] = classOf[r.Sample.Family]
+	}
+	return evaluateFamilies(fc.Net, fc.Families, s.TestX, y), nil
+}
+
+// EvaluateFamilyHead evaluates the system's own network as a family
+// classifier on the held-out split. It requires a family-head system
+// (Config.Classes == NumFamilyClasses), where TestY already carries
+// family class labels; the binary operating point of the same network is
+// EvaluateTest, whose metrics collapse family predictions to
+// malicious-vs-benign.
+func (s *System) EvaluateFamilyHead() (*FamilyMetrics, error) {
+	if s.Net == nil {
+		return nil, ErrNotTrained
+	}
+	if s.Net.NumClasses() != NumFamilyClasses {
+		return nil, fmt.Errorf("core: family head: model has %d classes, want %d",
+			s.Net.NumClasses(), NumFamilyClasses)
+	}
+	return evaluateFamilies(s.Net, familyLabels(), s.TestX, s.TestY), nil
+}
+
+// evaluateFamilies fills the K-way confusion matrix for net over a
+// labeled design matrix.
+func evaluateFamilies(net *nn.Network, fams []synth.Family, x [][]float64, y []int) *FamilyMetrics {
+	k := len(fams)
 	m := &FamilyMetrics{
-		Families:  fc.Families,
+		Families:  fams,
 		Confusion: make([][]int, k),
 		Recall:    make([]float64, k),
 	}
@@ -95,10 +122,10 @@ func (s *System) EvaluateFamilies(fc *FamilyClassifier) (*FamilyMetrics, error) 
 		m.Confusion[i] = make([]int, k)
 	}
 	correct := 0
-	ws := fc.Net.WS()
-	for i, r := range s.Test.Records {
-		truth := classOf[r.Sample.Family]
-		pred := ws.Predict(s.TestX[i])
+	ws := net.WS()
+	for i := range x {
+		truth := y[i]
+		pred := ws.Predict(x[i])
 		m.Confusion[truth][pred]++
 		if pred == truth {
 			correct++
@@ -117,7 +144,44 @@ func (s *System) EvaluateFamilies(fc *FamilyClassifier) (*FamilyMetrics, error) 
 			m.Recall[c] = float64(m.Confusion[c][c]) / float64(total)
 		}
 	}
-	return m, nil
+	return m
+}
+
+// Collapse folds the K-way confusion matrix onto the binary
+// malicious-vs-benign axis (class 0 benign, everything else malicious)
+// and returns the paper's Table I operating-point metrics. This is the
+// acceptance contract for the family head: collapsed accuracy must
+// reproduce the binary detector's.
+func (m *FamilyMetrics) Collapse() nn.Metrics {
+	var b nn.Metrics
+	b.N = m.N
+	for t, row := range m.Confusion {
+		bt := nn.ClassBenign
+		if t != 0 {
+			bt = nn.ClassMalware
+		}
+		for p, v := range row {
+			bp := nn.ClassBenign
+			if p != 0 {
+				bp = nn.ClassMalware
+			}
+			b.Confusion[bt][bp] += v
+		}
+	}
+	tn := b.Confusion[nn.ClassBenign][nn.ClassBenign]
+	fp := b.Confusion[nn.ClassBenign][nn.ClassMalware]
+	fn := b.Confusion[nn.ClassMalware][nn.ClassBenign]
+	tp := b.Confusion[nn.ClassMalware][nn.ClassMalware]
+	if b.N > 0 {
+		b.Accuracy = float64(tn+tp) / float64(b.N)
+	}
+	if fn+tp > 0 {
+		b.FNR = float64(fn) / float64(fn+tp)
+	}
+	if fp+tn > 0 {
+		b.FPR = float64(fp) / float64(fp+tn)
+	}
+	return b
 }
 
 // String renders the family metrics with the confusion matrix.

@@ -35,6 +35,13 @@ type Model struct {
 	Version uint64
 	Scaler  *features.Scaler
 	Net     *nn.Network
+	// Classes is the softmax head width this model was trained with:
+	// 2 for the paper's binary detector, NumFamilyClasses for the
+	// 5-way family head. Persisted in the envelope and cross-checked
+	// against the decoded weights at load time, so a head-width
+	// mismatch is a descriptive load error instead of a failure deep
+	// inside inference.
+	Classes int
 	// Calib holds the per-boundary activation ranges observed on the
 	// training split, enabling the int8 quantized inference tier (see
 	// Quantized). Nil means no calibration pass ran — float-only serving.
@@ -113,7 +120,8 @@ func (s *System) Snapshot() (*Model, error) {
 	if s.Net == nil {
 		return nil, ErrNotTrained
 	}
-	d := &Model{Version: 1, Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor}
+	d := &Model{Version: 1, Scaler: s.Scaler, Net: s.Net, Extractor: s.Extractor,
+		Classes: s.Net.NumClasses()}
 	if len(s.TrainX) > 0 {
 		calib, err := nn.Calibrate(s.Net, s.TrainX)
 		if err != nil {
@@ -189,6 +197,12 @@ type modelEnvelope struct {
 	Weights            []byte
 	CalibMin, CalibMax []float64
 	Version            uint64
+	// Classes labels the softmax head width the weights were trained
+	// with. Zero on pre-family files; the loader then trusts the width
+	// it peeks from the weight blob itself. Non-zero values are
+	// cross-checked against the blob — a mismatch (a relabeled or
+	// spliced envelope) is rejected at load.
+	Classes int
 }
 
 // Save writes the model (scaler ranges + CNN weights + calibration
@@ -200,6 +214,7 @@ func (d *Model) Save(w io.Writer) error {
 	}
 	var env modelEnvelope
 	env.Version = d.Version
+	env.Classes = d.Net.NumClasses()
 	env.Min = append([]float64(nil), d.Scaler.Min...)
 	env.Max = append([]float64(nil), d.Scaler.Max...)
 	if d.Calib != nil {
@@ -258,10 +273,30 @@ func LoadModel(r io.Reader) (d *Model, err error) {
 	if version == 0 {
 		version = 1 // pre-split file: first of its lineage
 	}
+	// Resolve the head width before building the network. The decoded
+	// weights are the ground truth (the blob's output-layer bias length);
+	// the envelope's class label, when present, must agree with it. A
+	// mismatch means the file was relabeled or spliced — rejecting it here
+	// turns a would-be inference-time failure (a 2-class head served
+	// against 5-way labels, or vice versa) into a descriptive load error.
+	classes, err := nn.SnapshotClasses(bytes.NewReader(env.Weights))
+	if err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if env.Classes != 0 && env.Classes != classes {
+		return nil, fmt.Errorf(
+			"core: load model: envelope labels %d classes but decoded head is %d wide — refusing mismatched model file",
+			env.Classes, classes)
+	}
+	if classes != nn.PaperClasses && classes != NumFamilyClasses {
+		return nil, fmt.Errorf("core: load model: unsupported head width %d (want %d or %d)",
+			classes, nn.PaperClasses, NumFamilyClasses)
+	}
 	d = &Model{
 		Version: version,
+		Classes: classes,
 		Scaler:  &features.Scaler{Min: env.Min, Max: env.Max},
-		Net:     nn.PaperCNN(0),
+		Net:     nn.PaperCNNClasses(0, classes),
 	}
 	if err := d.Net.Load(bytes.NewReader(env.Weights)); err != nil {
 		return nil, fmt.Errorf("core: load model: weights: %w", err)

@@ -58,6 +58,45 @@ func RenderTableIII(results []attacks.Result) string {
 	return out
 }
 
+// RenderFamilyAttacks renders the K-way attack evaluation: per attack,
+// the untargeted per-source-family rows (MR = left the true class,
+// evasion = reached benign) and, for attacks with explicit targets, the
+// source→target success matrix.
+func RenderFamilyAttacks(results []attacks.FamilyResult) string {
+	var sb strings.Builder
+	for _, res := range results {
+		labels := ClassLabels(res.Classes)
+		tu := report.New(res.Attack+": untargeted family misclassification",
+			"source", "n", "MR (%)", "evasion (%)")
+		for _, row := range res.Untargeted {
+			if row.Total == 0 {
+				continue
+			}
+			tu.Add(labels[row.Source], row.Total, report.Pct(row.MR), report.Pct(row.EvasionRate))
+		}
+		sb.WriteString(tu.String())
+		if res.Targeted != nil {
+			tt := report.New(res.Attack+": targeted success rate (%), source -> target",
+				append([]string{"source\\target"}, labels...)...)
+			for src, cells := range res.Targeted {
+				rowCells := make([]any, 0, len(cells)+1)
+				rowCells = append(rowCells, labels[src])
+				for tgt, c := range cells {
+					if src == tgt || c.Total == 0 {
+						rowCells = append(rowCells, "-")
+					} else {
+						rowCells = append(rowCells, report.Pct(c.Rate))
+					}
+				}
+				tt.Add(rowCells...)
+			}
+			sb.WriteString(tt.String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
 // RenderGEASize renders Tables IV/V.
 func RenderGEASize(title string, rows []gea.Row) string {
 	t := report.New(title, "Size", "# Nodes", "MR (%)", "CT (ms)")

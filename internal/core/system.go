@@ -35,6 +35,13 @@ type Config struct {
 	NumMal    int
 	// TestFraction of each class held out for evaluation and attacks.
 	TestFraction float64
+	// Classes is the softmax head width. 0 or 2 trains the paper's
+	// binary detector (labels are dataset.LabelBenign/LabelMalware —
+	// the legacy path, bit-identical to pre-family builds);
+	// NumFamilyClasses trains the 5-way family head, labeling each
+	// sample with ClassOf(its family). Other widths are rejected by
+	// Fit.
+	Classes int
 	// Epochs / BatchSize follow the paper (200 / 100). EarlyStopLoss
 	// stops training once converged (the synthetic corpus converges long
 	// before 200 epochs); 0 disables early stopping.
@@ -170,16 +177,30 @@ func (s *System) BuildFromSamples(ctx context.Context, samples []*synth.Sample) 
 	return nil
 }
 
+// Classes resolves the configured head width (0 means the binary
+// default).
+func (s *System) Classes() int {
+	if s.Config.Classes == 0 {
+		return nn.PaperClasses
+	}
+	return s.Config.Classes
+}
+
 func (s *System) designMatrix(ds *dataset.Dataset) ([][]float64, []int, error) {
 	x := make([][]float64, ds.Len())
 	y := make([]int, ds.Len())
+	family := s.Classes() > 2
 	for i, r := range ds.Records {
 		v, err := s.Scaler.Transform(r.Raw)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: scaling %q: %w", r.Sample.Name, err)
 		}
 		x[i] = v
-		y[i] = r.Label
+		if family {
+			y[i] = ClassOf(r.Sample.Family)
+		} else {
+			y[i] = r.Label
+		}
 	}
 	return x, y, nil
 }
@@ -195,7 +216,12 @@ func (s *System) FitCtx(ctx context.Context) (*nn.History, error) {
 	if s.Train == nil {
 		return nil, ErrNotBuilt
 	}
-	s.Net = nn.PaperCNN(s.Config.Seed + 7)
+	classes := s.Classes()
+	if classes != nn.PaperClasses && classes != NumFamilyClasses {
+		return nil, fmt.Errorf("core: fit: unsupported head width %d (want %d or %d)",
+			classes, nn.PaperClasses, NumFamilyClasses)
+	}
+	s.Net = nn.PaperCNNClasses(s.Config.Seed+7, classes)
 	trainer := &nn.Trainer{
 		Epochs:        s.Config.Epochs,
 		BatchSize:     s.Config.BatchSize,

@@ -76,6 +76,11 @@ func (r *Retrainer) RunOnce(ctx context.Context) (*CycleReport, error) {
 	if tr.Extractor == nil {
 		tr.Extractor = live.Extractor // keep the feature cache warm
 	}
+	if tr.Classes == 0 {
+		// Candidates inherit the live head width, so a hot swap never
+		// changes the serving class space mid-flight.
+		tr.Classes = live.Net.NumClasses()
+	}
 	if r.WarmStart {
 		tr.WarmStart = live.Net
 	}

@@ -35,6 +35,11 @@ type Trainer struct {
 	// retraining loop warm-starts from the live model so candidates
 	// refine rather than relearn.
 	WarmStart *nn.Network
+	// Classes is the candidate's softmax head width: 2 (or 0, the
+	// default) for the binary detector, core.NumFamilyClasses for the
+	// family head. The retraining loop sets it from the live model so a
+	// hot swap never changes the serving head width mid-flight.
+	Classes int
 }
 
 // Candidate is a trained-but-not-yet-trusted model plus the raw holdout
@@ -65,6 +70,14 @@ func (t *Trainer) Train(ctx context.Context, samples []*synth.Sample) (*Candidat
 	if frac <= 0 {
 		frac = 0.25
 	}
+	classes := t.Classes
+	if classes == 0 {
+		classes = nn.PaperClasses
+	}
+	if t.WarmStart != nil && t.WarmStart.NumClasses() != classes {
+		return nil, fmt.Errorf("lifecycle: warm start has %d classes, trainer wants %d",
+			t.WarmStart.NumClasses(), classes)
+	}
 	sys := core.New(core.Config{
 		Seed:         t.Seed,
 		NumBenign:    1, // sizes come from the explicit sample set
@@ -73,6 +86,7 @@ func (t *Trainer) Train(ctx context.Context, samples []*synth.Sample) (*Candidat
 		Epochs:       epochs,
 		BatchSize:    batch,
 		Workers:      t.Workers,
+		Classes:      classes,
 	})
 	if t.Extractor != nil {
 		sys.Extractor = t.Extractor
@@ -87,7 +101,7 @@ func (t *Trainer) Train(ctx context.Context, samples []*synth.Sample) (*Candidat
 	} else {
 		// Warm start: same architecture seeded fresh, then overwrite with
 		// a private copy of the live weights before fitting.
-		sys.Net = nn.PaperCNN(t.Seed + 7)
+		sys.Net = nn.PaperCNNClasses(t.Seed+7, classes)
 		if err := t.WarmStart.CloneInto(sys.Net); err != nil {
 			return nil, fmt.Errorf("lifecycle: warm start: %w", err)
 		}
@@ -111,9 +125,13 @@ func (t *Trainer) Train(ctx context.Context, samples []*synth.Sample) (*Candidat
 		holdX[i] = v
 	}
 	return &Candidate{
-		Model:  m,
-		HoldX:  holdX,
-		HoldY:  sys.Test.Labels(),
+		Model: m,
+		HoldX: holdX,
+		// TestY carries the class labels in whichever class space the
+		// head was trained in (binary labels for K=2, family classes
+		// otherwise); the canary's nn.Evaluate collapses both to the
+		// binary operating point.
+		HoldY:  sys.TestY,
 		Window: sys.Data.Len(),
 	}, nil
 }

@@ -29,17 +29,23 @@ func (m Metrics) String() string {
 		m.Accuracy*100, m.FNR*100, m.FPR*100, m.N)
 }
 
-// Evaluate runs the network on every sample and computes Metrics. Labels
-// must be 0 (benign) or 1 (malware).
+// Evaluate runs the network on every sample and computes Metrics at the
+// binary malicious-vs-benign operating point. Class 0 is benign; every
+// other class is a malware family, so labels and predictions collapse to
+// {benign, malicious} before the confusion matrix is filled. For a
+// two-class network with 0/1 labels the collapse is the identity, so the
+// legacy binary numbers are unchanged; for a K-way family head this is
+// the paper's Table I operating point recovered from family predictions.
 func Evaluate(net *Network, x [][]float64, y []int) Metrics {
 	var m Metrics
 	m.N = len(x)
 	correct := 0
 	ws := net.WS()
 	for i := range x {
-		pred := ws.Predict(x[i])
-		m.Confusion[y[i]][pred]++
-		if pred == y[i] {
+		pred := collapseBinary(ws.Predict(x[i]))
+		truth := collapseBinary(y[i])
+		m.Confusion[truth][pred]++
+		if pred == truth {
 			correct++
 		}
 	}
@@ -57,4 +63,13 @@ func Evaluate(net *Network, x [][]float64, y []int) Metrics {
 		m.FPR = float64(fp) / float64(fp+tn)
 	}
 	return m
+}
+
+// collapseBinary maps a class index onto the binary detection axis:
+// class 0 stays benign, every malware family collapses to ClassMalware.
+func collapseBinary(class int) int {
+	if class != ClassBenign {
+		return ClassMalware
+	}
+	return ClassBenign
 }

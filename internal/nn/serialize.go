@@ -50,6 +50,26 @@ func (n *Network) CloneInto(dst *Network) error {
 	return nil
 }
 
+// SnapshotClasses peeks at a weight blob written by Save and reports the
+// width of the PaperCNN softmax head — the length of the output-layer
+// bias — without building a network. Model loaders use it to size the
+// head before Load and to reject a blob whose width contradicts the
+// labeled class count at load time instead of deep inside inference.
+func SnapshotClasses(r io.Reader) (int, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("nn: snapshot classes: %w", err)
+	}
+	bias, ok := snap.Params["logits.b"]
+	if !ok {
+		return 0, fmt.Errorf("nn: snapshot classes: weight blob has no %q parameter", "logits.b")
+	}
+	if len(bias) < 2 {
+		return 0, fmt.Errorf("nn: snapshot classes: output bias has %d values, want >= 2", len(bias))
+	}
+	return len(bias), nil
+}
+
 // Load restores weights previously written by Save into a network with an
 // identical architecture.
 func (n *Network) Load(r io.Reader) error {

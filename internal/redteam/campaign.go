@@ -1,0 +1,401 @@
+// Package redteam is the live attack-replay harness: it turns the
+// paper's offline adversarial evaluation (Tables IV–VII) into a
+// continuous online experiment against a running serve or gateway
+// target.
+//
+// A campaign is generated offline from a deterministic seed: for every
+// source malware family it crafts adversarial feature vectors with all
+// eight feature-space attacks (at a configurable budget/epsilon sweep)
+// against a surrogate model — the same gob the target serves, in the
+// usual white-box setting — plus GEA graph splices rendered back to
+// assembly, plus clean controls. Crafting happens in the scaled feature
+// space the attacks are defined in; each vector is mapped back to raw
+// feature space with the surrogate scaler's inverse so the live target
+// re-scales it under its own snapshot, exactly like production traffic.
+//
+// Replay then streams the items as paced HTTP traffic (POST
+// /v1/classify/vector for crafted vectors, POST /v1/classify for GEA
+// splices, optionally POST /v1/similar for the ANN-triage view) and the
+// scorer aggregates responses online: per-attack/per-family/per-budget
+// evasion rates, detection-score distributions, triage catch rates, and
+// per-model-version attribution — so a retrain hot swap mid-campaign
+// shows up as a before/after robustness delta, not as noise.
+package redteam
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strings"
+
+	"advmal/internal/attacks"
+	"advmal/internal/core"
+	"advmal/internal/gea"
+	"advmal/internal/nn"
+	"advmal/internal/pool"
+	"advmal/internal/synth"
+)
+
+// CleanAttack labels the unmodified control items every campaign
+// carries: they pin the target's clean operating point so evasion rates
+// have a baseline in the same run.
+const CleanAttack = "clean"
+
+// GEAAttack labels graph-splice items (the budget field carries the
+// target-size tier: size=min, size=med, size=max).
+const GEAAttack = "GEA"
+
+// Kind selects the wire form of one campaign item.
+type Kind int
+
+const (
+	// KindVector is a raw feature vector replayed via /v1/classify/vector.
+	KindVector Kind = iota
+	// KindProgram is assembly text replayed via /v1/classify.
+	KindProgram
+)
+
+// Item is one replayable request with its ground truth.
+type Item struct {
+	ID     int    `json:"id"`
+	Attack string `json:"attack"` // CleanAttack, an attack name, or GEAAttack
+	Family string `json:"family"` // source family name ("benign" for benign controls)
+	// Budget is the printable budget label for the cell: "eps=0.30" for
+	// the feature-space attacks, "size=min|med|max" for GEA splices,
+	// "-" for clean controls.
+	Budget string `json:"budget"`
+	Kind   Kind   `json:"kind"`
+	// Vector is the RAW (unscaled) feature vector for KindVector items.
+	Vector []float64 `json:"vector,omitempty"`
+	// Program is the assembly text for KindProgram items.
+	Program string `json:"program,omitempty"`
+	// Malicious is the ground truth on the binary detection axis.
+	Malicious bool `json:"malicious"`
+}
+
+// CampaignConfig parameterizes Generate. The zero value of every field
+// has a sensible default; Model and Seed are the identity of a campaign
+// — same config, same items, bit for bit.
+type CampaignConfig struct {
+	// Seed drives corpus generation and every sampling choice.
+	Seed int64
+	// Model is the surrogate the attacks are crafted against — load the
+	// same gob the target serves for the white-box setting the paper
+	// evaluates. Required.
+	Model *core.Model
+	// NumBenign / NumMal size the synthetic source corpus (defaults
+	// 40 / 150 — enough for PerCell picks per family plus GEA targets).
+	NumBenign int
+	NumMal    int
+	// PerCell is how many source samples each (attack, family, budget)
+	// cell crafts. Default 3.
+	PerCell int
+	// Eps is the budget sweep. For FGSM/MIM/PGD/VAM it is the L∞
+	// distortion bound; for the margin attacks (C&W, DeepFool,
+	// ElasticNet, JSMA) it scales the iteration/feature budget
+	// proportionally to eps/attacks.DefaultEps. Default {0.1, 0.3}.
+	Eps []float64
+	// Attacks filters the attack set by name; empty means all eight.
+	Attacks []string
+	// GEA includes graph-splice items (min/med/max benign targets per
+	// source sample). Default true; set SkipGEA to disable.
+	SkipGEA bool
+	// Clean is the number of clean control items per class (benign +
+	// each family). Default PerCell.
+	Clean int
+	// Workers bounds crafting parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+// Campaign is a generated set of replayable items.
+type Campaign struct {
+	Items []Item
+	// Attacks/Families/Budgets enumerate the cell axes present, in
+	// deterministic order, for report layout.
+	Attacks  []string
+	Families []string
+	Budgets  []string
+}
+
+// Generate builds a campaign deterministically from cfg. Crafting runs
+// against the surrogate model on the shared worker pool; the output item
+// order, IDs, and payloads depend only on the config.
+func Generate(ctx context.Context, cfg CampaignConfig) (*Campaign, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("redteam: CampaignConfig.Model is required")
+	}
+	if cfg.NumBenign <= 0 {
+		cfg.NumBenign = 40
+	}
+	if cfg.NumMal <= 0 {
+		cfg.NumMal = 150
+	}
+	if cfg.PerCell <= 0 {
+		cfg.PerCell = 3
+	}
+	if len(cfg.Eps) == 0 {
+		cfg.Eps = []float64{0.1, attacks.DefaultEps}
+	}
+	if cfg.Clean <= 0 {
+		cfg.Clean = cfg.PerCell
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	samples, err := synth.Generate(synth.Config{
+		Seed:      cfg.Seed,
+		NumBenign: cfg.NumBenign,
+		NumMal:    cfg.NumMal,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("redteam: generating source corpus: %w", err)
+	}
+
+	// Partition sources by family and pick each cell's samples with a
+	// seeded shuffle, so campaigns with different seeds stress different
+	// corners of the family manifolds.
+	byFamily := make(map[synth.Family][]*synth.Sample)
+	var benign []*synth.Sample
+	for _, s := range samples {
+		if s.Malicious {
+			byFamily[s.Family] = append(byFamily[s.Family], s)
+		} else {
+			benign = append(benign, s)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 101))
+	for _, fam := range synth.MalwareFamilies() {
+		list := byFamily[fam]
+		rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+	}
+	rng.Shuffle(len(benign), func(i, j int) { benign[i], benign[j] = benign[j], benign[i] })
+
+	mdl := cfg.Model
+	surrogateClasses := mdl.Net.NumClasses()
+
+	// Pre-vectorize every picked source under the surrogate: raw
+	// features (replayed as clean controls and inverted attack outputs)
+	// plus the scaled vector the attacks perturb.
+	type source struct {
+		sample *synth.Sample
+		raw    []float64
+		scaled []float64
+		label  int // class label in the surrogate's class space
+	}
+	vectorize := func(s *synth.Sample) (*source, error) {
+		raw, _, _, err := mdl.RawFeatures(s.Prog)
+		if err != nil {
+			return nil, fmt.Errorf("redteam: vectorizing %s: %w", s.Name, err)
+		}
+		scaled, err := mdl.Scaler.Transform(raw)
+		if err != nil {
+			return nil, fmt.Errorf("redteam: scaling %s: %w", s.Name, err)
+		}
+		label := nn.ClassMalware
+		if surrogateClasses > 2 {
+			label = core.ClassOf(s.Family)
+		}
+		if !s.Malicious {
+			label = nn.ClassBenign
+		}
+		return &source{sample: s, raw: raw, scaled: scaled, label: label}, nil
+	}
+
+	perFamily := make(map[synth.Family][]*source)
+	for _, fam := range synth.MalwareFamilies() {
+		list := byFamily[fam]
+		n := min(cfg.PerCell, len(list))
+		for _, s := range list[:n] {
+			src, err := vectorize(s)
+			if err != nil {
+				return nil, err
+			}
+			perFamily[fam] = append(perFamily[fam], src)
+		}
+	}
+
+	c := &Campaign{}
+	add := func(it Item) {
+		it.ID = len(c.Items)
+		c.Items = append(c.Items, it)
+	}
+
+	// Clean controls: benign + per-family unmodified vectors.
+	for i := 0; i < min(cfg.Clean, len(benign)); i++ {
+		src, err := vectorize(benign[i])
+		if err != nil {
+			return nil, err
+		}
+		add(Item{Attack: CleanAttack, Family: synth.Benign.String(), Budget: "-",
+			Kind: KindVector, Vector: src.raw, Malicious: false})
+	}
+	for _, fam := range synth.MalwareFamilies() {
+		for i, src := range perFamily[fam] {
+			if i >= cfg.Clean {
+				break
+			}
+			add(Item{Attack: CleanAttack, Family: fam.String(), Budget: "-",
+				Kind: KindVector, Vector: src.raw, Malicious: true})
+		}
+	}
+
+	// Feature-space attacks: craft per (attack, family, eps) cell in
+	// parallel over samples; the cell loop is serial so item order stays
+	// deterministic.
+	type craftJob struct {
+		atk    attacks.Attack
+		name   string
+		budget string
+		fam    synth.Family
+		src    *source
+	}
+	var jobs []craftJob
+	for _, eps := range cfg.Eps {
+		for _, atk := range budgetedAttacks(eps, cfg.Attacks) {
+			for _, fam := range synth.MalwareFamilies() {
+				for _, src := range perFamily[fam] {
+					jobs = append(jobs, craftJob{
+						atk:    atk,
+						name:   atk.Name(),
+						budget: fmt.Sprintf("eps=%.2f", eps),
+						fam:    fam,
+						src:    src,
+					})
+				}
+			}
+		}
+	}
+	crafted := make([][]float64, len(jobs))
+	wss := make([]*nn.Workspace, min(workers, max(len(jobs), 1)))
+	for w := range wss {
+		wss[w] = mdl.Net.CloneShared().WS()
+	}
+	// One pool fan-out per attack instance would re-run setup costs;
+	// instead group jobs by attack so the stateful Targeted attacks are
+	// never mutated mid-flight (no targets are set here — untargeted
+	// crafting only — but the grouping also keeps per-attack cache
+	// behaviour deterministic).
+	err = pool.Run(ctx, len(jobs), pool.Options{
+		Workers: workers,
+		Name:    func(k int) string { return fmt.Sprintf("craft/%s/%s", jobs[k].name, jobs[k].src.sample.Name) },
+	}, func(_ context.Context, w, k int) error {
+		j := jobs[k]
+		adv := j.atk.Craft(wss[w], j.src.scaled, j.src.label)
+		raw, err := mdl.Scaler.Inverse(adv)
+		if err != nil {
+			return fmt.Errorf("redteam: inverting %s/%s: %w", j.name, j.src.sample.Name, err)
+		}
+		crafted[k] = raw
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("redteam: crafting: %w", err)
+	}
+	for k, j := range jobs {
+		if crafted[k] == nil {
+			continue // isolated crafting fault
+		}
+		add(Item{Attack: j.name, Family: j.fam.String(), Budget: j.budget,
+			Kind: KindVector, Vector: crafted[k], Malicious: true})
+	}
+
+	// GEA splices: each source program merged with the min/med/max
+	// benign target, rendered back to assembly and replayed through the
+	// full parse → disassemble → extract path.
+	if !cfg.SkipGEA && len(benign) > 0 {
+		targets, err := gea.SelectBySize(benign, false)
+		if err != nil {
+			return nil, fmt.Errorf("redteam: selecting GEA targets: %w", err)
+		}
+		for _, fam := range synth.MalwareFamilies() {
+			for _, src := range perFamily[fam] {
+				for _, tgt := range targets.Rows() {
+					merged, err := gea.Merge(src.sample.Prog, tgt.Sample.Prog)
+					if err != nil {
+						return nil, fmt.Errorf("redteam: GEA merge %s+%s: %w",
+							src.sample.Name, tgt.Sample.Name, err)
+					}
+					add(Item{Attack: GEAAttack, Family: fam.String(),
+						Budget: "size=" + strings.ToLower(string(tgt.Label)),
+						Kind:   KindProgram, Program: merged.String(), Malicious: true})
+				}
+			}
+		}
+	}
+
+	c.Attacks, c.Families, c.Budgets = axes(c.Items)
+	return c, nil
+}
+
+// budgetedAttacks instantiates the paper's attacks at one budget point.
+// eps is the L∞ bound for the single/iterated-step attacks; the margin
+// attacks have no eps knob, so their iteration (C&W, DeepFool,
+// ElasticNet) or touched-feature (JSMA) budgets scale with
+// eps/DefaultEps instead — one dial sweeps every attack's strength.
+func budgetedAttacks(eps float64, filter []string) []attacks.Attack {
+	scale := eps / attacks.DefaultEps
+	iters := func(base int) int {
+		n := int(float64(base) * scale)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	gamma := attacks.DefaultJSMAGamma * scale
+	if gamma > 1 {
+		gamma = 1
+	}
+	all := []attacks.Attack{
+		attacks.NewCW(0, iters(attacks.DefaultCWIters), 0),
+		attacks.NewDeepFool(0, iters(attacks.DefaultDeepFoolIters)),
+		attacks.NewElasticNet(0, iters(attacks.DefaultEADIters), 0, 0),
+		attacks.NewFGSM(eps),
+		attacks.NewJSMA(0, gamma),
+		attacks.NewMIM(eps, 0),
+		attacks.NewPGD(eps, 0),
+		attacks.NewVAM(eps, 0),
+	}
+	if len(filter) == 0 {
+		return all
+	}
+	want := make(map[string]bool, len(filter))
+	for _, n := range filter {
+		want[n] = true
+	}
+	var out []attacks.Attack
+	for _, a := range all {
+		if want[a.Name()] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// axes extracts the distinct attack/family/budget labels present, in
+// first-seen order for attacks and families and sorted order for
+// budgets.
+func axes(items []Item) (atks, fams, budgets []string) {
+	seenA := map[string]bool{}
+	seenF := map[string]bool{}
+	seenB := map[string]bool{}
+	for _, it := range items {
+		if !seenA[it.Attack] {
+			seenA[it.Attack] = true
+			atks = append(atks, it.Attack)
+		}
+		if !seenF[it.Family] {
+			seenF[it.Family] = true
+			fams = append(fams, it.Family)
+		}
+		if !seenB[it.Budget] {
+			seenB[it.Budget] = true
+			budgets = append(budgets, it.Budget)
+		}
+	}
+	sort.Strings(budgets)
+	return atks, fams, budgets
+}

@@ -1,0 +1,207 @@
+package redteam
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"advmal/internal/serve"
+)
+
+// ReplayConfig parameterizes Replay.
+type ReplayConfig struct {
+	// Target is the base URL of a live serve or gateway instance, e.g.
+	// "http://127.0.0.1:8377". Required.
+	Target string
+	// Workers is the number of concurrent senders. Default 4.
+	Workers int
+	// RPS paces the campaign across all workers; 0 replays as fast as
+	// the target answers. Pacing is what lets a mid-campaign retrain
+	// swap land between items instead of after all of them.
+	RPS float64
+	// Timeout bounds each request. Default 10s.
+	Timeout time.Duration
+	// Similar also queries POST /v1/similar for every adversarial item,
+	// scoring the ANN-triage catch rate alongside the classifier
+	// verdicts. A target without an index (501) marks triage
+	// unavailable rather than failing the campaign.
+	Similar bool
+	// Client overrides the HTTP client (tests); nil builds one from
+	// Timeout.
+	Client *http.Client
+}
+
+// Outcome is one item's observed response, as fed to the Scorer.
+type Outcome struct {
+	Item *Item
+	// Status is the HTTP status (0 on transport error).
+	Status int
+	// Err is the transport error, if any.
+	Err error
+	// Verdict is the parsed response on status 200.
+	Verdict serve.Verdict
+	// Latency is the request round-trip time.
+	Latency time.Duration
+	// TriageQueried/TriageFlagged/TriageUnavailable report the optional
+	// /v1/similar side query.
+	TriageQueried     bool
+	TriageFlagged     bool
+	TriageUnavailable bool
+}
+
+// Replay streams the campaign's items against the live target and
+// scores every response online. It returns the scorer's report; the
+// error is non-nil only for setup failures or context cancellation —
+// per-item transport errors are scored, not fatal, so a flaky target
+// yields a report that says so.
+func Replay(ctx context.Context, c *Campaign, cfg ReplayConfig, s *Scorer) (*Report, error) {
+	if cfg.Target == "" {
+		return nil, fmt.Errorf("redteam: ReplayConfig.Target is required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+	if s == nil {
+		s = NewScorer()
+	}
+
+	// Pacing: a shared ticker-fed channel. Workers pull a token per
+	// item, so the aggregate rate is RPS regardless of worker count.
+	var pace <-chan time.Time
+	if cfg.RPS > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.RPS))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	jobs := make(chan *Item)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range jobs {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-ctx.Done():
+						return
+					}
+				}
+				s.Observe(send(ctx, client, cfg, it))
+			}
+		}()
+	}
+
+	start := time.Now()
+feed:
+	for i := range c.Items {
+		select {
+		case jobs <- &c.Items[i]:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return s.Report(c, cfg.Target, time.Since(start)), fmt.Errorf("redteam: replay: %w", err)
+	}
+	return s.Report(c, cfg.Target, time.Since(start)), nil
+}
+
+// send replays one item: the classify request, plus the optional
+// /v1/similar triage query for adversarial items.
+func send(ctx context.Context, client *http.Client, cfg ReplayConfig, it *Item) Outcome {
+	out := Outcome{Item: it}
+	var path string
+	var body []byte
+	var err error
+	switch it.Kind {
+	case KindVector:
+		path = "/v1/classify/vector"
+		body, err = json.Marshal(struct {
+			Name   string    `json:"name"`
+			Vector []float64 `json:"vector"`
+		}{Name: itemName(it), Vector: it.Vector})
+	default:
+		path = "/v1/classify"
+		body, err = json.Marshal(struct {
+			Name    string `json:"name"`
+			Program string `json:"program"`
+		}{Name: itemName(it), Program: it.Program})
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	t0 := time.Now()
+	status, respBody, err := post(ctx, client, cfg.Target+path, body)
+	out.Latency = time.Since(t0)
+	out.Status = status
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if status == http.StatusOK {
+		if err := json.Unmarshal(respBody, &out.Verdict); err != nil {
+			out.Err = fmt.Errorf("decoding verdict: %w", err)
+			return out
+		}
+	}
+
+	if cfg.Similar && it.Attack != CleanAttack {
+		// /v1/similar accepts the same JSON schema as both classify
+		// endpoints (program or vector form), so the request body is
+		// reusable as-is.
+		st, resp, err := post(ctx, client, cfg.Target+"/v1/similar", body)
+		switch {
+		case err != nil:
+			// Triage side-query transport error: recorded as not queried.
+		case st == http.StatusNotImplemented:
+			out.TriageUnavailable = true
+		case st == http.StatusOK:
+			var sim serve.SimilarResponse
+			if json.Unmarshal(resp, &sim) == nil {
+				out.TriageQueried = true
+				out.TriageFlagged = sim.Triage.Flagged
+			}
+		}
+	}
+	return out
+}
+
+func post(ctx context.Context, client *http.Client, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+func itemName(it *Item) string {
+	return fmt.Sprintf("rt-%d-%s-%s", it.ID, it.Attack, it.Family)
+}

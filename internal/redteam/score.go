@@ -1,0 +1,445 @@
+package redteam
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"advmal/internal/report"
+)
+
+// histBins is the detection-score histogram resolution: P(malicious)
+// bucketed into [0,0.1), [0.1,0.2), ... [0.9,1.0].
+const histBins = 10
+
+type cellKey struct{ attack, family, budget string }
+
+type cellAgg struct {
+	sent, errors int
+	evaded       int
+	familyN      int
+	familyMiss   int
+	scoreSum     float64
+	hist         [histBins]int
+}
+
+type verKey struct {
+	version uint64
+	attack  string
+}
+
+type verAgg struct{ sent, evaded int }
+
+// Scorer aggregates replay outcomes online. It is safe for concurrent
+// Observe calls from every replay worker; Report snapshots the state.
+type Scorer struct {
+	mu       sync.Mutex
+	cells    map[cellKey]*cellAgg
+	versions map[verKey]*verAgg
+
+	sent, transport, httpErr int
+	statuses                 map[int]int
+	firstError               string
+	latSum                   time.Duration
+
+	triageQueried, triageFlagged int
+	triageUnavailable            bool
+}
+
+// NewScorer returns an empty scorer.
+func NewScorer() *Scorer {
+	return &Scorer{
+		cells:    make(map[cellKey]*cellAgg),
+		versions: make(map[verKey]*verAgg),
+		statuses: make(map[int]int),
+	}
+}
+
+// Observe folds one replay outcome into the aggregates.
+func (s *Scorer) Observe(o Outcome) {
+	it := o.Item
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sent++
+	s.latSum += o.Latency
+	s.statuses[o.Status]++
+	key := cellKey{attack: it.Attack, family: it.Family, budget: it.Budget}
+	cell := s.cells[key]
+	if cell == nil {
+		cell = &cellAgg{}
+		s.cells[key] = cell
+	}
+	cell.sent++
+
+	switch {
+	case o.Err != nil:
+		s.transport++
+		cell.errors++
+		if s.firstError == "" {
+			s.firstError = fmt.Sprintf("%s: %v", itemName(it), o.Err)
+		}
+		return
+	case o.Status != 200:
+		s.httpErr++
+		cell.errors++
+		if s.firstError == "" {
+			s.firstError = fmt.Sprintf("%s: HTTP %d", itemName(it), o.Status)
+		}
+		return
+	}
+
+	// Detection score: P(malicious) = 1 - P(benign). Identical on both
+	// head widths because class 0 is benign in every class space.
+	score := 0.0
+	if len(o.Verdict.Probs) > 0 {
+		score = 1 - o.Verdict.Probs[0]
+	}
+	cell.scoreSum += score
+	bin := int(score * histBins)
+	if bin >= histBins {
+		bin = histBins - 1
+	}
+	if bin < 0 {
+		bin = 0
+	}
+	cell.hist[bin]++
+
+	evaded := it.Malicious && !o.Verdict.Malicious
+	if evaded {
+		cell.evaded++
+	}
+	if o.Verdict.Family != "" {
+		cell.familyN++
+		if o.Verdict.Family != it.Family {
+			cell.familyMiss++
+		}
+	}
+
+	// Model-version attribution: every verdict is stamped with the
+	// snapshot that produced it, so a mid-campaign hot swap partitions
+	// the same attack's items into before/after populations.
+	if it.Malicious && it.Attack != CleanAttack {
+		vk := verKey{version: o.Verdict.ModelVersion, attack: it.Attack}
+		va := s.versions[vk]
+		if va == nil {
+			va = &verAgg{}
+			s.versions[vk] = va
+		}
+		va.sent++
+		if evaded {
+			va.evaded++
+		}
+	}
+
+	if o.TriageUnavailable {
+		s.triageUnavailable = true
+	}
+	if o.TriageQueried {
+		s.triageQueried++
+		if o.TriageFlagged {
+			s.triageFlagged++
+		}
+	}
+}
+
+// CellReport is one (attack, family, budget) cell of the campaign.
+type CellReport struct {
+	Attack      string        `json:"attack"`
+	Family      string        `json:"family"`
+	Budget      string        `json:"budget"`
+	Sent        int           `json:"sent"`
+	Errors      int           `json:"errors"`
+	Evaded      int           `json:"evaded"`
+	EvasionRate float64       `json:"evasion_rate"`
+	MeanScore   float64       `json:"mean_score"`
+	Hist        [histBins]int `json:"score_hist"`
+	FamilyN     int           `json:"family_n,omitempty"`
+	FamilyMiss  int           `json:"family_miss,omitempty"`
+}
+
+// VersionReport is one (model version, attack) population: the same
+// attack's evasion rate under one serving snapshot.
+type VersionReport struct {
+	Version     uint64  `json:"version"`
+	Attack      string  `json:"attack"`
+	Sent        int     `json:"sent"`
+	Evaded      int     `json:"evaded"`
+	EvasionRate float64 `json:"evasion_rate"`
+}
+
+// AttackDelta is the before/after robustness delta for one attack
+// across a mid-campaign swap: first-version evasion minus last-version
+// evasion (positive = the swap hardened the model against this attack).
+type AttackDelta struct {
+	Attack    string  `json:"attack"`
+	OldVer    uint64  `json:"old_version"`
+	NewVer    uint64  `json:"new_version"`
+	OldRate   float64 `json:"old_rate"`
+	NewRate   float64 `json:"new_rate"`
+	Delta     float64 `json:"delta"`
+	OldSent   int     `json:"old_sent"`
+	NewSent   int     `json:"new_sent"`
+	Improved  bool    `json:"improved"`
+	Regressed bool    `json:"regressed"`
+}
+
+// TriageReport is the ANN catch-rate view: among adversarial items also
+// queried against /v1/similar, how many the triage layer flagged as
+// off-manifold.
+type TriageReport struct {
+	Queried     int     `json:"queried"`
+	Flagged     int     `json:"flagged"`
+	CatchRate   float64 `json:"catch_rate"`
+	Unavailable bool    `json:"unavailable"`
+}
+
+// Report is the campaign's online scorecard.
+type Report struct {
+	Target          string          `json:"target"`
+	Items           int             `json:"items"`
+	Sent            int             `json:"sent"`
+	TransportErrors int             `json:"transport_errors"`
+	HTTPErrors      int             `json:"http_errors"`
+	FirstError      string          `json:"first_error,omitempty"`
+	Statuses        map[int]int     `json:"statuses"`
+	Duration        time.Duration   `json:"duration"`
+	Throughput      float64         `json:"throughput_rps"`
+	MeanLatency     time.Duration   `json:"mean_latency"`
+	Cells           []CellReport    `json:"cells"`
+	Versions        []VersionReport `json:"versions"`
+	Deltas          []AttackDelta   `json:"deltas,omitempty"`
+	Triage          TriageReport    `json:"triage"`
+	// Axis labels, for rendering.
+	AttackNames []string `json:"attacks"`
+	FamilyNames []string `json:"families"`
+	BudgetNames []string `json:"budgets"`
+}
+
+// Report snapshots the aggregates into a Report.
+func (s *Scorer) Report(c *Campaign, target string, dur time.Duration) *Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := &Report{
+		Target:          target,
+		Items:           len(c.Items),
+		Sent:            s.sent,
+		TransportErrors: s.transport,
+		HTTPErrors:      s.httpErr,
+		FirstError:      s.firstError,
+		Statuses:        make(map[int]int, len(s.statuses)),
+		Duration:        dur,
+		AttackNames:     c.Attacks,
+		FamilyNames:     c.Families,
+		BudgetNames:     c.Budgets,
+	}
+	for k, v := range s.statuses {
+		r.Statuses[k] = v
+	}
+	if dur > 0 {
+		r.Throughput = float64(s.sent) / dur.Seconds()
+	}
+	if s.sent > 0 {
+		r.MeanLatency = s.latSum / time.Duration(s.sent)
+	}
+
+	keys := make([]cellKey, 0, len(s.cells))
+	for k := range s.cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].attack != keys[j].attack {
+			return keys[i].attack < keys[j].attack
+		}
+		if keys[i].family != keys[j].family {
+			return keys[i].family < keys[j].family
+		}
+		return keys[i].budget < keys[j].budget
+	})
+	for _, k := range keys {
+		cell := s.cells[k]
+		cr := CellReport{
+			Attack: k.attack, Family: k.family, Budget: k.budget,
+			Sent: cell.sent, Errors: cell.errors, Evaded: cell.evaded,
+			Hist: cell.hist, FamilyN: cell.familyN, FamilyMiss: cell.familyMiss,
+		}
+		if ok := cell.sent - cell.errors; ok > 0 {
+			cr.EvasionRate = float64(cell.evaded) / float64(ok)
+			cr.MeanScore = cell.scoreSum / float64(ok)
+		}
+		r.Cells = append(r.Cells, cr)
+	}
+
+	vkeys := make([]verKey, 0, len(s.versions))
+	for k := range s.versions {
+		vkeys = append(vkeys, k)
+	}
+	sort.Slice(vkeys, func(i, j int) bool {
+		if vkeys[i].version != vkeys[j].version {
+			return vkeys[i].version < vkeys[j].version
+		}
+		return vkeys[i].attack < vkeys[j].attack
+	})
+	for _, k := range vkeys {
+		va := s.versions[k]
+		vr := VersionReport{Version: k.version, Attack: k.attack, Sent: va.sent, Evaded: va.evaded}
+		if va.sent > 0 {
+			vr.EvasionRate = float64(va.evaded) / float64(va.sent)
+		}
+		r.Versions = append(r.Versions, vr)
+	}
+	r.Deltas = deltas(r.Versions)
+
+	r.Triage = TriageReport{
+		Queried:     s.triageQueried,
+		Flagged:     s.triageFlagged,
+		Unavailable: s.triageUnavailable,
+	}
+	if s.triageQueried > 0 {
+		r.Triage.CatchRate = float64(s.triageFlagged) / float64(s.triageQueried)
+	}
+	return r
+}
+
+// deltas pairs each attack's earliest- and latest-version populations.
+// With a single serving version (no swap mid-campaign) there is nothing
+// to compare and the result is empty.
+func deltas(versions []VersionReport) []AttackDelta {
+	first := make(map[string]VersionReport)
+	last := make(map[string]VersionReport)
+	var order []string
+	for _, v := range versions {
+		if _, ok := first[v.Attack]; !ok {
+			first[v.Attack] = v
+			order = append(order, v.Attack)
+		}
+		last[v.Attack] = v
+	}
+	var out []AttackDelta
+	for _, a := range order {
+		f, l := first[a], last[a]
+		if f.Version == l.Version {
+			continue
+		}
+		d := AttackDelta{
+			Attack: a,
+			OldVer: f.Version, NewVer: l.Version,
+			OldRate: f.EvasionRate, NewRate: l.EvasionRate,
+			Delta:   f.EvasionRate - l.EvasionRate,
+			OldSent: f.Sent, NewSent: l.Sent,
+		}
+		d.Improved = d.Delta > 0
+		d.Regressed = d.Delta < 0
+		out = append(out, d)
+	}
+	return out
+}
+
+// String renders the full online scorecard as ASCII tables.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "redteam: %s — %d/%d items answered in %v (%.1f req/s, mean latency %v)\n",
+		r.Target, r.Sent-r.TransportErrors-r.HTTPErrors, r.Items,
+		r.Duration.Round(time.Millisecond), r.Throughput, r.MeanLatency.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "errors: transport=%d http=%d", r.TransportErrors, r.HTTPErrors)
+	if r.FirstError != "" {
+		fmt.Fprintf(&sb, " (first: %s)", r.FirstError)
+	}
+	sb.WriteString("\n\n")
+
+	// Attack × family evasion (aggregated over budgets).
+	type af struct{ attack, family string }
+	agg := make(map[af]*struct{ ok, evaded int })
+	type ab struct{ attack, budget string }
+	aggB := make(map[ab]*struct {
+		ok, evaded int
+		scoreSum   float64
+	})
+	for _, c := range r.Cells {
+		k := af{c.Attack, c.Family}
+		a := agg[k]
+		if a == nil {
+			a = &struct{ ok, evaded int }{}
+			agg[k] = a
+		}
+		a.ok += c.Sent - c.Errors
+		a.evaded += c.Evaded
+		kb := ab{c.Attack, c.Budget}
+		b := aggB[kb]
+		if b == nil {
+			b = &struct {
+				ok, evaded int
+				scoreSum   float64
+			}{}
+			aggB[kb] = b
+		}
+		okN := c.Sent - c.Errors
+		b.ok += okN
+		b.evaded += c.Evaded
+		b.scoreSum += c.MeanScore * float64(okN)
+	}
+	tf := report.New("Online evasion rate (%) by attack × source family, all budgets",
+		append([]string{"attack"}, r.FamilyNames...)...)
+	for _, atk := range r.AttackNames {
+		cells := make([]any, 0, len(r.FamilyNames)+1)
+		cells = append(cells, atk)
+		for _, fam := range r.FamilyNames {
+			if a, ok := agg[af{atk, fam}]; ok && a.ok > 0 {
+				cells = append(cells, report.Pct(float64(a.evaded)/float64(a.ok)))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		tf.Add(cells...)
+	}
+	sb.WriteString(tf.String())
+	sb.WriteByte('\n')
+
+	tb := report.New("Evasion rate (%) and mean detection score by attack × budget",
+		append([]string{"attack"}, r.BudgetNames...)...)
+	for _, atk := range r.AttackNames {
+		cells := make([]any, 0, len(r.BudgetNames)+1)
+		cells = append(cells, atk)
+		for _, bud := range r.BudgetNames {
+			if b, ok := aggB[ab{atk, bud}]; ok && b.ok > 0 {
+				cells = append(cells, fmt.Sprintf("%s / %.2f",
+					report.Pct(float64(b.evaded)/float64(b.ok)), b.scoreSum/float64(b.ok)))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		tb.Add(cells...)
+	}
+	sb.WriteString(tb.String())
+	sb.WriteByte('\n')
+
+	if len(r.Versions) > 0 {
+		tv := report.New("Evasion rate by model version (hot-swap attribution)",
+			"version", "attack", "sent", "evaded", "rate %")
+		for _, v := range r.Versions {
+			tv.Add(v.Version, v.Attack, v.Sent, v.Evaded, report.Pct(v.EvasionRate))
+		}
+		sb.WriteString(tv.String())
+		sb.WriteByte('\n')
+	}
+	if len(r.Deltas) > 0 {
+		td := report.New("Robustness delta across swap (old - new evasion)",
+			"attack", "old ver", "new ver", "old %", "new %", "delta pp")
+		for _, d := range r.Deltas {
+			td.Add(d.Attack, d.OldVer, d.NewVer, report.Pct(d.OldRate), report.Pct(d.NewRate),
+				fmt.Sprintf("%+.2f", d.Delta*100))
+		}
+		sb.WriteString(td.String())
+		sb.WriteByte('\n')
+	}
+
+	switch {
+	case r.Triage.Unavailable:
+		sb.WriteString("triage: /v1/similar unavailable on target (no index loaded)\n")
+	case r.Triage.Queried > 0:
+		fmt.Fprintf(&sb, "triage: flagged %d/%d adversarial items (catch rate %.2f%%)\n",
+			r.Triage.Flagged, r.Triage.Queried, r.Triage.CatchRate*100)
+	}
+	return sb.String()
+}

@@ -26,6 +26,7 @@ import (
 	"errors"
 	"math"
 
+	"advmal/internal/core"
 	"advmal/internal/index"
 	"advmal/internal/nn"
 )
@@ -44,13 +45,26 @@ type Verdict struct {
 	// Name identifies the program: the request's name field or the
 	// source file path. Empty when the caller supplied neither.
 	Name string `json:"name,omitempty"`
-	// Class is the predicted class index (0 benign, 1 malware).
+	// Class is the predicted class index: 0 is always benign; under the
+	// binary head 1 is malware, under the family head 1..K-1 are the
+	// malware families in core.FamilyClasses order.
 	Class int `json:"class"`
-	// Label is the human-readable class name.
+	// Label is the binary detection verdict ("benign" or "malware") —
+	// stable across head widths, so binary and family-head deployments
+	// stay diffable on the detection axis.
 	Label string `json:"label"`
+	// Malicious is the binary verdict as a bool (class != 0); the
+	// red-team harness scores evasion on it without re-deriving label
+	// semantics.
+	Malicious bool `json:"malicious"`
+	// Family names the predicted class under a family-head model
+	// ("benign", "mirai", ...). Empty under the binary head, which
+	// cannot attribute a family.
+	Family string `json:"family,omitempty"`
 	// Confidence is the predicted class's probability.
 	Confidence float64 `json:"confidence"`
-	// Probs is the full class-probability vector.
+	// Probs is the full class-probability vector — one entry per head
+	// class, so its length tells the caller the serving head width.
 	Probs []float64 `json:"probs"`
 	// HasGraph reports whether this verdict came from a real program
 	// with a CFG (true) or a raw feature-vector request (false). It is
@@ -74,9 +88,11 @@ type Verdict struct {
 	ModelVersion uint64 `json:"model_version"`
 }
 
-// Label returns the wire label for a class index.
+// Label returns the binary wire label for a class index. Class 0 is
+// benign in every head width; any other class is a malware family, so
+// it collapses to "malware".
 func Label(class int) string {
-	if class == nn.ClassMalware {
+	if class != nn.ClassBenign {
 		return "malware"
 	}
 	return "benign"
@@ -94,10 +110,16 @@ func MakeVerdict(name string, probs []float64, blocks, edges int, hasGraph bool,
 		}
 	}
 	class := nn.Argmax(probs)
+	family := ""
+	if len(probs) > 2 {
+		family = core.ClassName(class, len(probs))
+	}
 	return Verdict{
 		Name:         name,
 		Class:        class,
 		Label:        Label(class),
+		Malicious:    class != nn.ClassBenign,
+		Family:       family,
 		Confidence:   probs[class],
 		Probs:        probs,
 		HasGraph:     hasGraph,

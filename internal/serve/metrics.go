@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"advmal/internal/core"
 	"advmal/internal/features"
 )
 
@@ -122,9 +123,17 @@ type Metrics struct {
 	Errors      atomic.Uint64 // requests answered with an error verdict
 	Panics      atomic.Uint64 // batch panics isolated by the batcher
 
-	// Verdict counters, by class index.
+	// Verdict counters on the binary detection axis (class 0 vs rest).
 	VerdictBenign  atomic.Uint64
 	VerdictMalware atomic.Uint64
+	// ByClass counts verdicts per raw class index — per-family verdict
+	// rates under a family-head model. Sized for the family head with
+	// headroom; out-of-range classes only bump the binary counters.
+	ByClass [8]atomic.Uint64
+	// Classes is the serving head width, stamped once at server
+	// construction; WriteText emits the per-family verdict series only
+	// when it exceeds the binary width.
+	Classes int
 
 	// Similarity-layer counters: /v1/similar queries served, and
 	// classify/similar responses whose triage distance exceeded the
@@ -153,15 +162,19 @@ func NewMetrics() *Metrics {
 	}
 }
 
-// Verdict records one verdict by class.
+// Verdict records one verdict by class: the binary collapse (class 0 is
+// benign, everything else malicious) plus the raw per-class counter.
 func (m *Metrics) Verdict(class int) {
 	if m == nil {
 		return
 	}
-	if class == 1 {
+	if class != 0 {
 		m.VerdictMalware.Add(1)
 	} else {
 		m.VerdictBenign.Add(1)
+	}
+	if class >= 0 && class < len(m.ByClass) {
+		m.ByClass[class].Add(1)
 	}
 }
 
@@ -177,6 +190,12 @@ func (m *Metrics) WriteText(w io.Writer, cache features.CacheStats) {
 	fmt.Fprintf(w, "advmal_batch_panics_total %d\n", m.Panics.Load())
 	fmt.Fprintf(w, "advmal_verdicts_total{class=\"benign\"} %d\n", m.VerdictBenign.Load())
 	fmt.Fprintf(w, "advmal_verdicts_total{class=\"malware\"} %d\n", m.VerdictMalware.Load())
+	if m.Classes > 2 {
+		for c := 0; c < m.Classes && c < len(m.ByClass); c++ {
+			fmt.Fprintf(w, "advmal_verdicts_family_total{family=%q} %d\n",
+				core.ClassName(c, m.Classes), m.ByClass[c].Load())
+		}
+	}
 	fmt.Fprintf(w, "advmal_similar_requests_total %d\n", m.Similar.Load())
 	fmt.Fprintf(w, "advmal_triage_flagged_total %d\n", m.TriageFlagged.Load())
 	fmt.Fprintf(w, "advmal_tier_rows_total{tier=\"bulk\"} %d\n", m.TierBulk.Load())

@@ -130,6 +130,10 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxBody = 1 << 20
 	}
 	s := &Server{cfg: cfg, h: h, metrics: NewMetrics()}
+	// Stamp the serving head width for the per-family verdict series.
+	// Swapped-in candidates keep the width (the lifecycle trainer
+	// preserves the live head), so stamping once is sound.
+	s.metrics.Classes = h.Current().Net.NumClasses()
 	newEngine := cfg.NewEngine
 	if newEngine == nil {
 		band := cfg.Band

@@ -1,0 +1,163 @@
+#!/bin/sh
+# redteam_smoke.sh — end-to-end smoke of the live attack-replay harness.
+#
+# Builds serve/classify/retrain/redteam, trains a tiny detector, boots
+# one admin-armed replica, and replays a short mixed campaign (all eight
+# feature-space attacks + GEA splices + clean controls) as paced traffic
+# while an external retrain hot-swaps a new model in mid-campaign. The
+# scorecard must then show:
+#
+#   1. zero transport errors and zero HTTP errors — every item answered;
+#   2. nonzero evasion — the white-box campaign actually evades the
+#      served model, so the harness is measuring something real;
+#   3. triage counters present — the /v1/similar side query is scored
+#      (unavailable on this index-less replica, and said so explicitly);
+#   4. verdicts attributed to at least two model versions with a
+#      per-attack robustness delta — the mid-campaign hot swap was
+#      measured as a before/after population split, not averaged away.
+#
+# Run from the repo root (the Makefile redteam-smoke target does).
+set -eu
+
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+	for pid in $PIDS; do
+		kill "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "redteam-smoke: building binaries"
+go build -o "$TMP" ./cmd/serve ./cmd/classify ./cmd/retrain ./cmd/redteam
+
+echo "redteam-smoke: training a tiny detector"
+"$TMP/classify" -train -model "$TMP/det.gob" -benign 20 -malware 60 -epochs 15 >/dev/null
+
+# wait_addr LOGFILE PREFIX PID — scrape the resolved listen address.
+wait_addr() {
+	_addr=""
+	_i=0
+	while [ $_i -lt 100 ]; do
+		_addr=$(sed -n "s/^$2: listening on \\([^ ]*\\).*/\\1/p" "$1")
+		[ -n "$_addr" ] && break
+		if ! kill -0 "$3" 2>/dev/null; then
+			echo "redteam-smoke: FAIL — $2 died during startup" >&2
+			exit 1
+		fi
+		sleep 0.1
+		_i=$((_i + 1))
+	done
+	if [ -z "$_addr" ]; then
+		echo "redteam-smoke: FAIL — $2 never reported its address" >&2
+		exit 1
+	fi
+	echo "$_addr"
+}
+
+echo "redteam-smoke: starting admin-armed replica"
+"$TMP/serve" -model "$TMP/det.gob" -addr 127.0.0.1:0 -admin \
+	>"$TMP/serve.out" 2>"$TMP/serve.err" &
+SRV_PID=$!
+PIDS="$PIDS $SRV_PID"
+ADDR=$(wait_addr "$TMP/serve.out" serve "$SRV_PID")
+echo "redteam-smoke: replica up at $ADDR (pid $SRV_PID)"
+
+# Paced campaign: ~200 items at 15 req/s spans >10s, leaving a wide
+# window for the swap to land between items.
+echo "redteam-smoke: launching paced campaign"
+"$TMP/redteam" -target "http://$ADDR" -model "$TMP/det.gob" \
+	-per-cell 2 -rps 15 -similar -json \
+	>"$TMP/rep.json" 2>"$TMP/redteam.err" &
+RT_PID=$!
+PIDS="$PIDS $RT_PID"
+
+# Generation happens before any traffic flows; wait for the replay
+# phase to actually start, then let a slice of the campaign be served
+# by the original model before swapping.
+_i=0
+while ! grep -q 'campaign ready' "$TMP/redteam.err" 2>/dev/null; do
+	if ! kill -0 "$RT_PID" 2>/dev/null; then
+		cat "$TMP/redteam.err" >&2
+		echo "redteam-smoke: FAIL — campaign exited before replay started" >&2
+		exit 1
+	fi
+	_i=$((_i + 1))
+	if [ $_i -gt 600 ]; then
+		echo "redteam-smoke: FAIL — campaign generation never finished" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+sleep 3
+
+# Hot-swap a retrained candidate in mid-campaign (permissive clean
+# gates, evasion gates off — gate selectivity is pinned elsewhere).
+echo "redteam-smoke: retraining and swapping mid-campaign"
+"$TMP/retrain" -model "$TMP/det.gob" -swap-url "http://$ADDR" \
+	-benign 12 -malware 36 -epochs 5 \
+	-max-acc-drop 1 -max-fnr-increase 1 -max-fpr-increase 1 -attack-samples -1 \
+	>"$TMP/retrain.out" 2>"$TMP/retrain.err"
+
+if ! kill -0 "$RT_PID" 2>/dev/null; then
+	cat "$TMP/redteam.err" >&2
+	echo "redteam-smoke: FAIL — campaign ended before the swap landed" >&2
+	exit 1
+fi
+
+set +e
+wait "$RT_PID"
+RT_STATUS=$?
+set -e
+if [ "$RT_STATUS" -ne 0 ]; then
+	cat "$TMP/redteam.err" >&2
+	echo "redteam-smoke: FAIL — redteam exited $RT_STATUS" >&2
+	exit 1
+fi
+
+# 1. Every item answered: zero transport and HTTP errors.
+if ! grep -q '"transport_errors": 0' "$TMP/rep.json" ||
+	! grep -q '"http_errors": 0' "$TMP/rep.json"; then
+	grep -E 'errors|first_error' "$TMP/rep.json" >&2 || true
+	echo "redteam-smoke: FAIL — campaign saw transport or HTTP errors" >&2
+	exit 1
+fi
+echo "redteam-smoke: zero transport/HTTP errors"
+
+# 2. Nonzero evasion: at least one cell evaded the served model.
+if ! grep -q '"evaded": [1-9]' "$TMP/rep.json"; then
+	echo "redteam-smoke: FAIL — no cell reports nonzero evasion" >&2
+	exit 1
+fi
+echo "redteam-smoke: nonzero evasion measured"
+
+# 3. Triage counters present (this replica has no index, so the
+# scorecard must say triage was unavailable rather than omit it).
+if ! grep -q '"triage"' "$TMP/rep.json" ||
+	! grep -q '"unavailable": true' "$TMP/rep.json"; then
+	echo "redteam-smoke: FAIL — triage counters missing from scorecard" >&2
+	exit 1
+fi
+echo "redteam-smoke: triage counters present"
+
+# 4. The hot swap split every attack's population: at least two model
+# versions attributed, with a per-attack robustness delta.
+VERSIONS=$(grep -o '"version": [0-9]*' "$TMP/rep.json" | sort -u | wc -l)
+if [ "$VERSIONS" -lt 2 ]; then
+	grep -E '"version"|"deltas"' "$TMP/rep.json" >&2 || true
+	echo "redteam-smoke: FAIL — verdicts attributed to fewer than two model versions" >&2
+	exit 1
+fi
+if ! grep -q '"old_version"' "$TMP/rep.json"; then
+	echo "redteam-smoke: FAIL — no per-attack robustness delta across the swap" >&2
+	exit 1
+fi
+echo "redteam-smoke: robustness delta measured across $VERSIONS model versions"
+
+kill -TERM "$SRV_PID"
+set +e
+wait "$SRV_PID"
+set -e
+PIDS=""
+echo "redteam-smoke: PASS"
